@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's figures/tables, prints the
+rendered rows (visible with ``pytest benchmarks/ -s`` and in the captured
+output block), and writes them under ``benchmarks/results/`` so a full
+run leaves the reproduced figures on disk.  pytest-benchmark's pedantic
+mode keeps every experiment to a single timed round — the experiments
+are deterministic simulations; repeating them buys nothing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def publish():
+    """publish(name, text): print a rendered figure and persist it."""
+
+    def _publish(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _publish
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

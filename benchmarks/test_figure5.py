@@ -1,0 +1,37 @@
+"""Regenerates Figure 5: bandwidth vs message size x contexts, static FM.
+
+Paper shape being asserted:
+- peak ~75-80 MB/s at one context for large messages;
+- sharp monotone collapse as contexts increase (C0 = Br/(n^2 p));
+- zero bandwidth at 7-8 contexts ("no communication is even possible");
+- small messages much slower than large ones (a full credit per packet).
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.report import render_figure5
+
+
+def test_figure5(benchmark, publish):
+    points = run_once(benchmark, lambda: run_figure5(target_packets=800))
+    publish("figure5", render_figure5(points))
+
+    by_ctx = defaultdict(dict)
+    for p in points:
+        by_ctx[p.contexts][p.message_bytes] = p.mbps
+
+    largest = max(p.message_bytes for p in points)
+    # Peak at one context: the ~80 MB/s PIO ceiling.
+    assert 60 < by_ctx[1][largest] < 85
+    # Monotone collapse with the number of contexts.
+    curve = [by_ctx[n][largest] for n in sorted(by_ctx)]
+    assert all(a >= b for a, b in zip(curve, curve[1:]))
+    assert by_ctx[2][largest] < 0.75 * by_ctx[1][largest]
+    assert by_ctx[4][largest] < 0.25 * by_ctx[1][largest]
+    # The paper's headline: nothing moves at 7-8 contexts.
+    assert by_ctx[7][largest] == 0.0
+    assert by_ctx[8][largest] == 0.0
+    # Small messages waste credits: far below the large-message rate.
+    assert by_ctx[1][64] < 0.25 * by_ctx[1][largest]

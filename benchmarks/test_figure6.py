@@ -1,0 +1,42 @@
+"""Regenerates Figure 6: total bandwidth vs message size x jobs, with the
+buffer-switching scheme under gang scheduling.
+
+Paper shape being asserted: the aggregate bandwidth (mean per-app MB/s x
+number of apps) stays roughly constant as jobs are added — multiple gang-
+scheduled applications do not impair the system's communication capacity.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.report import render_figure6
+
+JOBS = (1, 2, 4, 6, 8)
+SIZES = (384, 1536, 24576)
+
+
+def test_figure6(benchmark, publish):
+    points = run_once(benchmark, lambda: run_figure6(jobs=JOBS, message_sizes=SIZES))
+    publish("figure6", render_figure6(points))
+
+    by_size = defaultdict(dict)
+    for p in points:
+        by_size[p.message_bytes][p.jobs] = p
+
+    for size in SIZES:
+        base = by_size[size][1].aggregate_mbps
+        assert base > 0
+        for njobs in JOBS:
+            point = by_size[size][njobs]
+            # "Fairly constant level": within +-35% of the single-job rate
+            # (quantum-boundary edge effects at simulation scale).
+            assert 0.65 * base < point.aggregate_mbps < 1.35 * base, (
+                f"aggregate at {njobs} jobs, {size}B: "
+                f"{point.aggregate_mbps:.1f} vs base {base:.1f}"
+            )
+            # Each job individually gets ~1/n of the machine.
+            if njobs > 1:
+                assert max(point.per_job_mbps) < 0.8 * base
+    # Multi-job points actually switched buffers.
+    assert all(p.switches > 0 for p in points if p.jobs > 1)

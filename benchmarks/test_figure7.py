@@ -1,0 +1,36 @@
+"""Regenerates Figure 7: per-stage switch cost vs nodes, full buffer copy.
+
+Paper shape being asserted:
+- the buffer-switch stage is flat in the node count (it is a local copy
+  of fixed-size regions) and lands inside the paper's 14-17 M cycle band;
+- it dominates the halt and release stages by orders of magnitude;
+- halt and release grow with the node count (global protocols between
+  unsynchronised machines).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import NODE_SWEEP
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.report import render_switch_overheads
+
+
+def test_figure7(benchmark, publish):
+    points = run_once(benchmark, lambda: run_figure7(nodes=NODE_SWEEP))
+    publish("figure7", render_switch_overheads(points, "7"))
+
+    switch = [p.mean_cycles.switch for p in points]
+    halt = [p.mean_cycles.halt for p in points]
+    release = [p.mean_cycles.release for p in points]
+
+    # Flat and in the paper's band (< 85 ms = 17M cycles at 200 MHz).
+    assert max(switch) == min(switch)
+    assert 12_000_000 < switch[0] < 17_000_000
+    # The copy dominates both protocols at every size.
+    for p in points:
+        assert p.mean_cycles.switch > 20 * p.mean_cycles.halt
+        assert p.mean_cycles.switch > 20 * p.mean_cycles.release
+    # Halt and release grow with the cluster (compare the sweep ends).
+    assert halt[-1] > 2 * halt[0]
+    assert release[-1] > release[0]
+    # Each point measured real switches.
+    assert all(p.switches >= 8 for p in points)

@@ -1,0 +1,36 @@
+"""Regenerates Figure 8: valid packets in the buffers at switch time.
+
+Paper shape being asserted:
+- the send queue stays nearly empty (the LANai drains it faster than the
+  ~80 MB/s PIO path can fill it);
+- the receive queue holds a modest number of packets that *grows* with
+  the node count (all-to-all fan-in bursts outrun extraction), toward
+  the ~100-packet scale at 16 nodes;
+- both stay far below capacity (252 / 668 packets), which is what makes
+  the valid-only copy worthwhile.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import NODE_SWEEP
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.report import render_figure8
+
+
+def test_figure8(benchmark, publish):
+    points = run_once(benchmark, lambda: run_figure8(nodes=NODE_SWEEP))
+    publish("figure8", render_figure8(points))
+
+    by_nodes = {p.nodes: p for p in points}
+    small, large = min(by_nodes), max(by_nodes)
+
+    # Receive occupancy grows with the cluster size.
+    assert by_nodes[large].mean_recv_valid > 3 * by_nodes[small].mean_recv_valid
+    assert by_nodes[large].max_recv_valid >= 40
+    # Send queues stay comparatively empty.
+    for p in points:
+        assert p.mean_send_valid < p.mean_recv_valid
+        assert p.mean_send_valid < 30
+    # Far below capacity: the queues are "generally quite empty".
+    assert by_nodes[large].max_recv_valid < 668 / 3
+    assert by_nodes[large].max_send_valid < 252 / 3
+    assert all(p.samples > 0 for p in points)

@@ -1,0 +1,34 @@
+"""Regenerates Figure 9: per-stage switch cost with the improved
+(valid-packets-only) buffer copy.
+
+Paper shape being asserted:
+- the buffer-switch stage drops by about an order of magnitude versus
+  the full copy, into the paper's < 2.5 M cycle (12.5 ms) envelope;
+- the copy time now grows with the node count, tracking the occupancy
+  growth of Figure 8 ("the linear growth in the copying time is
+  correlated with the linear growth of the number of packets found in
+  the buffer").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import NODE_SWEEP
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.report import render_switch_overheads
+
+
+def test_figure9(benchmark, publish):
+    points = run_once(benchmark, lambda: run_figure9(nodes=NODE_SWEEP))
+    publish("figure9", render_switch_overheads(points, "9"))
+
+    switch = {p.nodes: p.mean_cycles.switch for p in points}
+    # Inside the paper's envelope at every size.
+    assert all(c < 2_500_000 for c in switch.values())
+    # Growth with nodes, correlated with occupancy.
+    assert switch[max(switch)] > 2 * switch[min(switch)]
+    occ = {p.nodes: p.occupancy.mean_recv for p in points}
+    assert occ[max(occ)] > occ[min(occ)]
+
+    # An order of magnitude below the full copy at the largest size.
+    full = run_figure7(nodes=(max(switch),))[0]
+    assert full.mean_cycles.switch > 10 * switch[max(switch)]

@@ -1,0 +1,29 @@
+"""Regenerates the Section 4.2 headline overhead claims.
+
+- improved switch < 12.5 ms (2.5 M cycles at 200 MHz) => < 1.25% of the
+  paper's 1-second quantum;
+- full switch < 85 ms (17 M cycles), "tolerable even for such a short
+  quantum".
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.report import render_headline
+from repro.experiments.table_overhead import run_headline_overheads
+
+
+def test_headline_overheads(benchmark, publish):
+    summaries = run_once(benchmark, lambda: run_headline_overheads(nodes=16))
+    publish("headline_overheads", render_headline(summaries))
+
+    by_algo = {s.algorithm: s for s in summaries}
+    full = by_algo["full-copy"]
+    improved = by_algo["valid-only-copy"]
+
+    assert full.within_paper_bound
+    assert improved.within_paper_bound
+    # "this overhead is less than 1.25%!"
+    assert improved.overhead_percent_at_1s_quantum < 1.25
+    # Full copy stays under 8.5% of a 1 s quantum.
+    assert full.overhead_percent_at_1s_quantum < 8.5
+    # The improvement is roughly an order of magnitude.
+    assert full.max_switch_seconds > 10 * improved.max_switch_seconds

@@ -1,0 +1,35 @@
+"""Regenerates the Section 4.1 NIC-memory sufficiency observation.
+
+"about 256KB of memory on the NIC suffices for adequate performance;
+hence as the available memory grows, more contexts can be supported."
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.nic_memory import (
+    contexts_supported,
+    knee_of,
+    run_nic_memory_sweep,
+)
+from repro.experiments.report import format_table
+
+
+def test_nic_memory_sufficiency(benchmark, publish):
+    points = run_once(benchmark, run_nic_memory_sweep)
+    knee = knee_of(points)
+    rows = [(p.send_buffer_kib, p.recv_buffer_kib, p.credits, f"{p.mbps:.1f}",
+             "<- knee" if p is knee else "") for p in points]
+    publish("nic_memory",
+            "NIC memory sufficiency (Sec 4.1): p2p bandwidth vs per-context "
+            "buffers\n"
+            + format_table(["sendbuf[KiB]", "recvbuf[KiB]", "C0", "MB/s", ""],
+                           rows)
+            + f"\n\n512 KiB card supports ~{contexts_supported(432, knee.send_buffer_kib)}"
+            " full-performance contexts (432 KiB after firmware)")
+
+    best = max(p.mbps for p in points)
+    # Bandwidth saturates: the knee sits at or below ~256 KB of send
+    # buffer, and doubling past it buys < 5%.
+    assert knee.send_buffer_kib <= 256
+    assert points[-1].mbps < 1.05 * knee.mbps
+    # Starved configurations are clearly degraded.
+    assert points[0].mbps < 0.8 * best

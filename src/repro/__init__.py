@@ -1,0 +1,13 @@
+"""repro — reproduction of Etsion & Feitelson, IPPS 2001.
+
+"User-Level Communication in a System with Gang Scheduling": a
+discrete-event simulation of the ParPar cluster, the FM user-level
+messaging library over Myrinet, and the paper's contribution — swapping
+the full communication buffers at each gang-scheduling context switch
+instead of statically partitioning them among contexts.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+__version__ = "1.0.0"

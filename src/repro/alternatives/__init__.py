@@ -1,0 +1,33 @@
+"""Related-work ablations (paper Section 5).
+
+The paper positions its flush-and-swap design against three contemporary
+alternatives; each is implemented far enough to measure the trade-off it
+embodies:
+
+- :mod:`~repro.alternatives.share` — the SHARE scheduler's approach
+  (Franke et al.): switch buffers on synchronised clocks *without*
+  flushing the network, discarding packets that arrive for the wrong
+  context.  The ablation quantifies what the flush protocol buys: under
+  FM's credit flow control every discarded packet leaks a credit
+  forever, and throughput wedges.
+- :mod:`~repro.alternatives.pm_nack` — SCore-D / PM's approach (Hori et
+  al.): acknowledgement/nack-based transport instead of credits, whose
+  flush needs no control broadcast (just drain outstanding acks) but
+  pays per-packet ack traffic at all times.
+- :mod:`~repro.alternatives.coscheduling` — dynamic coscheduling
+  (Sobalvarro et al.): no gang matrix at all; an arriving message
+  triggers the scheduling of its destination process.
+"""
+
+from repro.alternatives.coscheduling import DemandScheduler
+from repro.alternatives.pm_nack import PMEndpoint, PMFirmware, PMLibrary, PMNetwork
+from repro.alternatives.share import ShareNodeDaemon
+
+__all__ = [
+    "DemandScheduler",
+    "PMEndpoint",
+    "PMFirmware",
+    "PMLibrary",
+    "PMNetwork",
+    "ShareNodeDaemon",
+]

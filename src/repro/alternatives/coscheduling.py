@@ -1,0 +1,131 @@
+"""Dynamic coscheduling (Sobalvarro et al.), as an alternative to gangs.
+
+"The idea here is that instead of using gang scheduling, processes will
+be co-scheduled on the different nodes only if this is warranted by the
+interactions between them.  This was implemented based on a modification
+to FM so that incoming messages would trigger the scheduling of the
+processes to which they are destined" (Section 5).
+
+:class:`DemandScheduler` is a node-local scheduler with no global
+coordination: resident (statically partitioned) contexts stay on the
+NIC, one process runs at a time, and an arriving data packet for a
+descheduled process requests a preemption in its favour after a
+``wakeup_delay``.  A plain :class:`LocalRoundRobin` (uncoordinated
+time-slicing per node) serves as the strawman baseline: without demand
+wakeups, a sender's peer is usually descheduled and the credit window
+stalls — which is exactly the pathology dynamic coscheduling fixes and
+gang scheduling avoids by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.fm.firmware import LanaiFirmware
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+from repro.units import US
+
+
+class LocalRoundRobin:
+    """Uncoordinated per-node time-slicing of resident processes."""
+
+    def __init__(self, sim: Simulator, quantum: float, phase: float = 0.0):
+        if quantum <= 0:
+            raise SchedulingError("quantum must be positive")
+        self.sim = sim
+        self.quantum = quantum
+        self.phase = phase
+        self._procs: dict[int, Process] = {}   # job_id -> process
+        self._order: list[int] = []
+        self._running: Optional[int] = None
+        self.switches = 0
+        self._driver = sim.process(self._run(), name="local-rr")
+
+    def register(self, job_id: int, proc: Process) -> None:
+        if job_id in self._procs:
+            raise SchedulingError(f"job {job_id} already registered")
+        self._procs[job_id] = proc
+        self._order.append(job_id)
+        if self._running is None:
+            self._running = job_id
+        else:
+            proc.suspend()
+
+    @property
+    def running(self) -> Optional[int]:
+        return self._running
+
+    def _run(self):
+        yield self.sim.timeout(self.phase)
+        while True:
+            yield self.sim.timeout(self.quantum)
+            self._rotate()
+
+    def _rotate(self) -> None:
+        live = [j for j in self._order if self._procs[j].is_alive]
+        if len(live) < 2:
+            if live and self._running != live[0]:
+                self._switch_to(live[0])
+            return
+        if self._running not in live:
+            self._switch_to(live[0])
+            return
+        nxt = live[(live.index(self._running) + 1) % len(live)]
+        if nxt != self._running:
+            self._switch_to(nxt)
+
+    def _switch_to(self, job_id: int) -> None:
+        if self._running is not None and self._running in self._procs:
+            current = self._procs[self._running]
+            if current.is_alive:
+                current.suspend()
+        target = self._procs[job_id]
+        if target.is_alive:
+            target.resume()
+        self._running = job_id
+        self.switches += 1
+
+
+class DemandScheduler(LocalRoundRobin):
+    """Round-robin plus message-triggered wakeups.
+
+    Attaching to a firmware's data-delivery hook, an arrival for a
+    descheduled job schedules a preemption in its favour ``wakeup_delay``
+    later (interrupt + OS scheduling cost).  Between arrivals the base
+    round-robin keeps local fairness.
+    """
+
+    def __init__(self, sim: Simulator, quantum: float, phase: float = 0.0,
+                 wakeup_delay: float = 100 * US):
+        super().__init__(sim, quantum, phase)
+        if wakeup_delay < 0:
+            raise SchedulingError("wakeup_delay must be >= 0")
+        self.wakeup_delay = wakeup_delay
+        self.demand_wakeups = 0
+        self._wakeup_pending = False
+
+    def attach(self, firmware: LanaiFirmware) -> None:
+        firmware.data_delivery_hooks.append(self._on_delivery)
+
+    def _on_delivery(self, ctx, packet) -> None:
+        job_id = ctx.job_id
+        if job_id == self._running or job_id not in self._procs:
+            return
+        if not self._procs[job_id].is_alive:
+            return
+        if self._wakeup_pending:
+            return
+        self._wakeup_pending = True
+        ev = self.sim.timeout(self.wakeup_delay)
+        ev.add_callback(lambda _ev, j=job_id: self._demand_switch(j))
+
+    def _demand_switch(self, job_id: int) -> None:
+        self._wakeup_pending = False
+        if job_id == self._running or job_id not in self._procs:
+            return
+        if not self._procs[job_id].is_alive:
+            return
+        self.demand_wakeups += 1
+        self._switch_to(job_id)

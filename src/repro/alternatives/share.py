@@ -1,0 +1,86 @@
+"""SHARE-style context switching: no network flush, discard mismatches.
+
+"The SHARE scheduler for the IBM SP2 switches communication buffers as we
+do ... However ... the network is not flushed as part of a context
+switch, and nodes do not know exactly when other nodes complete their
+switching.  Therefore it may happen that a node receives a packet
+destined for a process that is no longer running.  This is handled by
+comparing an ID carried in the packet with an ID for the current process
+stored on the NIC, and discarding the packet if it does not fit.  It is
+assumed that higher-level software (e.g. MPI or TCP) will handle the
+retransmission needed to compensate for such lost packets."
+
+FM has no retransmission, so running this policy under FM exposes exactly
+the failure the paper designs around: every discarded data packet leaks a
+flow-control credit permanently ("a single packet loss can mess up the
+credit counters and the entire flow control algorithm"), and the jobs'
+throughput decays switch by switch.  The ablation benchmark measures that
+decay against the flushed baseline.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.counters import SwitchRecord
+from repro.parpar.noded import NodeDaemon
+
+
+class ShareNodeDaemon(NodeDaemon):
+    """A noded that swaps buffers without the three-stage protocol.
+
+    The switch is purely local: stop the process, swap the buffers, go —
+    like SHARE's synchronised-clock switches.  In-flight packets that
+    arrive between a context's removal and the peer's corresponding
+    switch hit a NIC with no (or the wrong) loaded context and are
+    discarded (the firmware's drop path).  Requires
+    ``strict_no_loss=False`` in the cluster config, since loss is the
+    point.
+    """
+
+    def _switch(self, sequence: int, old_slot: int, new_slot: int):
+        out_job = self._slot_jobs.get(old_slot)
+        in_job = self._slot_jobs.get(new_slot)
+        started = self.sim.now
+        out_local = self._jobs.get(out_job) if out_job is not None else None
+        in_local = self._jobs.get(in_job) if in_job is not None else None
+
+        if out_local is not None and out_local.process is not None:
+            yield self.node.cpu.busy(self.SIGNAL_TIME)
+            out_local.process.suspend()
+
+        # Local stop on a packet boundary, but no halt broadcast, no
+        # collection, no synchronisation with the other nodes.
+        self.node.nic.set_halt_bit()
+        glue = self.glue
+        out_ctx = glue.context_of(out_job) if out_job is not None else None
+        in_ctx = glue.context_of(in_job) if in_job is not None else None
+        t0 = self.sim.now
+        if out_ctx is not None and glue.firmware.installed_context(out_job) is out_ctx:
+            glue.firmware.remove_context(out_ctx)
+        report = yield from glue.switch_algorithm.run(self.node, out_ctx, in_ctx,
+                                                      glue.backing)
+        if in_ctx is not None:
+            glue.firmware.install_context(in_ctx)
+        switch_s = self.sim.now - t0
+        self.node.nic.clear_halt_bit()
+        glue.firmware.wake()
+
+        if in_local is not None and in_local.process is not None:
+            yield self.node.cpu.busy(self.SIGNAL_TIME)
+            in_local.process.resume()
+
+        self.current_slot = new_slot
+        self.recorder.add(SwitchRecord(
+            node_id=self.node.node_id, sequence=sequence,
+            old_slot=old_slot, new_slot=new_slot,
+            halt_seconds=0.0, switch_seconds=switch_s, release_seconds=0.0,
+            out_job=out_job, in_job=in_job,
+            out_send_valid=report.out_send_valid,
+            out_recv_valid=report.out_recv_valid,
+            algorithm=f"share+{glue.switch_algorithm.name}",
+            started_at=started,
+        ))
+        self.control_net.send(self.node.node_id, self.master_endpoint,
+                              ("switch-done", sequence, self.node.node_id))
+
+    def dropped_on_node(self) -> int:
+        return len(self.glue.firmware.dropped_packets)

@@ -1,0 +1,6 @@
+"""Post-processing of simulation output: schedule timelines and switch
+breakdowns rendered as text."""
+
+from repro.analysis.timeline import ScheduleTimeline, render_switch_breakdown
+
+__all__ = ["ScheduleTimeline", "render_switch_breakdown"]

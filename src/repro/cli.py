@@ -1,0 +1,147 @@
+"""Command-line experiment runner: ``python -m repro <figure> [options]``.
+
+Regenerates any of the paper's figures from the shell without pytest:
+
+    python -m repro figure5 --contexts 1 2 4 8 --sizes 1024 16384
+    python -m repro figure7 --nodes 2 8 16
+    python -m repro headline
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quantum", type=float, default=None,
+                        help="gang quantum in seconds (scaled; see DESIGN.md)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures from Etsion & Feitelson, IPPS 2001.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p5 = sub.add_parser("figure5", help="bandwidth collapse, static partition")
+    p5.add_argument("--contexts", type=int, nargs="+",
+                    default=list(range(1, 9)))
+    p5.add_argument("--sizes", type=int, nargs="+", default=None)
+    p5.add_argument("--packets", type=int, default=800,
+                    help="target packets per data point")
+
+    p6 = sub.add_parser("figure6", help="total bandwidth, buffer switching")
+    p6.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4, 8])
+    p6.add_argument("--sizes", type=int, nargs="+", default=None)
+    _add_common(p6)
+
+    for name, help_text in (("figure7", "switch stages, full copy"),
+                            ("figure9", "switch stages, valid-only copy")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
+        p.add_argument("--switches", type=int, default=10)
+
+    p8 = sub.add_parser("figure8", help="buffer occupancy at switch time")
+    p8.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
+    p8.add_argument("--switches", type=int, default=10)
+
+    sub.add_parser("headline", help="Sec 4.2 headline overhead bounds")
+    sub.add_parser("nicmem", help="NIC memory sufficiency (Sec 4.1)")
+    return parser
+
+
+EXPERIMENTS = {
+    "figure5": "Fig. 5  bandwidth vs size x contexts, static FM division",
+    "figure6": "Fig. 6  total bandwidth vs size x jobs, buffer switching",
+    "figure7": "Fig. 7  switch stage cycles vs nodes, full copy",
+    "figure8": "Fig. 8  valid packets in buffers at switch time",
+    "figure9": "Fig. 9  switch stage cycles vs nodes, valid-only copy",
+    "headline": "Sec 4.2 headline overhead bounds",
+    "nicmem": "Sec 4.1 NIC memory sufficiency",
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, desc in EXPERIMENTS.items():
+            print(f"  {name:<9} {desc}")
+        return 0
+
+    if args.command == "figure5":
+        from repro.experiments.common import FIG5_MESSAGE_SIZES
+        from repro.experiments.figure5 import run_figure5
+        from repro.experiments.report import render_figure5
+
+        sizes = tuple(args.sizes) if args.sizes else FIG5_MESSAGE_SIZES
+        points = run_figure5(contexts=tuple(args.contexts),
+                             message_sizes=sizes,
+                             target_packets=args.packets)
+        print(render_figure5(points))
+        return 0
+
+    if args.command == "figure6":
+        from repro.experiments.common import FIG6_MESSAGE_SIZES
+        from repro.experiments.figure6 import run_figure6
+        from repro.experiments.report import render_figure6
+
+        sizes = tuple(args.sizes) if args.sizes else FIG6_MESSAGE_SIZES
+        kwargs = {}
+        if args.quantum:
+            kwargs["quantum"] = args.quantum
+        points = run_figure6(jobs=tuple(args.jobs), message_sizes=sizes,
+                             **kwargs)
+        print(render_figure6(points))
+        return 0
+
+    if args.command in ("figure7", "figure9"):
+        from repro.experiments.figure7 import run_figure7
+        from repro.experiments.figure9 import run_figure9
+        from repro.experiments.report import render_switch_overheads
+
+        runner = run_figure7 if args.command == "figure7" else run_figure9
+        points = runner(nodes=tuple(args.nodes), num_switches=args.switches)
+        print(render_switch_overheads(points, args.command[-1]))
+        return 0
+
+    if args.command == "figure8":
+        from repro.experiments.figure8 import run_figure8
+        from repro.experiments.report import render_figure8
+
+        points = run_figure8(nodes=tuple(args.nodes),
+                             num_switches=args.switches)
+        print(render_figure8(points))
+        return 0
+
+    if args.command == "headline":
+        from repro.experiments.report import render_headline
+        from repro.experiments.table_overhead import run_headline_overheads
+
+        print(render_headline(run_headline_overheads()))
+        return 0
+
+    if args.command == "nicmem":
+        from repro.experiments.nic_memory import (
+            contexts_supported, knee_of, run_nic_memory_sweep)
+        from repro.experiments.report import format_table
+
+        points = run_nic_memory_sweep()
+        knee = knee_of(points)
+        rows = [(p.send_buffer_kib, p.credits, f"{p.mbps:.1f}",
+                 "<- knee" if p is knee else "") for p in points]
+        print(format_table(["sendbuf[KiB]", "C0", "MB/s", ""], rows))
+        print(f"knee at {knee.send_buffer_kib} KiB; a 512 KiB card supports "
+              f"~{contexts_supported(432, knee.send_buffer_kib)} contexts")
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulation or by the modelled protocols derives
+from :class:`ReproError` so callers can catch domain failures without
+masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all repro-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class InterruptError(ReproError):
+    """Raised inside a simulated process when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class HardwareError(ReproError):
+    """Violation of a hardware model invariant (e.g. SRAM over-commit)."""
+
+
+class BufferOverflowError(HardwareError):
+    """A ring queue was asked to hold more packets than its capacity."""
+
+
+class ProtocolError(ReproError):
+    """A communication protocol invariant was violated."""
+
+
+class CreditError(ProtocolError):
+    """Flow-control credit accounting went wrong (negative/overflow)."""
+
+
+class PacketLossError(ProtocolError):
+    """A packet was dropped in a configuration that forbids loss."""
+
+
+class RoutingError(ProtocolError):
+    """No route between a pair of nodes, or malformed source route."""
+
+
+class SchedulingError(ReproError):
+    """Gang-scheduling matrix or daemon state violation."""
+
+
+class AllocationError(SchedulingError):
+    """A job could not be placed in the gang matrix."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""
+
+
+class ContextSwitchError(ReproError):
+    """The three-stage context-switch protocol failed an invariant."""

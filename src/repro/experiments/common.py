@@ -1,0 +1,36 @@
+"""Shared experiment plumbing.
+
+The paper's measurements push 10^5-10^6 packets per data point on real
+hardware; a Python DES cannot, so every experiment takes a *scale* knob:
+``target_packets`` bounds the packets per measurement and quanta are tens
+of milliseconds rather than seconds.  Bandwidths are steady-state rates
+and switch costs are per-event, so the *shapes* are scale-invariant;
+EXPERIMENTS.md tabulates the scaling factor used for each figure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.fm.config import FMConfig
+
+
+#: Message sizes for the Figure 5 sweep (its axis runs 1 byte to 64K).
+FIG5_MESSAGE_SIZES = (64, 256, 1024, 4096, 16384, 65536)
+#: Message sizes for the Figure 6 sweep (its axis runs 96 bytes to 96K).
+FIG6_MESSAGE_SIZES = (96, 384, 1536, 6144, 24576, 98304)
+#: Cluster sizes for the Figures 7-9 sweep ("Nodes" axis, 2..16).
+NODE_SWEEP = (2, 4, 8, 12, 16)
+
+
+def messages_for_size(config: FMConfig, message_bytes: int,
+                      target_packets: int) -> int:
+    """Pick a message count so each point moves ~target_packets packets.
+
+    Mirrors the paper's "500,000 for small messages and 100,000 for large
+    ones", scaled to simulation budgets.  At least 20 messages keeps the
+    finish-message overhead amortised.
+    """
+    if target_packets <= 0:
+        raise ConfigError(f"target_packets must be positive, got {target_packets}")
+    per_message = config.packets_for(message_bytes)
+    return max(20, target_packets // per_message)

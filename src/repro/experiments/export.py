@@ -1,0 +1,55 @@
+"""CSV export of experiment results.
+
+Every ``run_*`` driver returns lists of flat frozen dataclasses; this
+module turns any such list into CSV so results can leave the Python
+world (spreadsheets, gnuplot, pandas) without bespoke glue per figure.
+Nested dataclass fields (e.g. the StageTimings inside a
+SwitchOverheadPoint) are flattened with dotted column names.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from typing import Any, Sequence
+
+from repro.errors import ConfigError
+
+
+def _flatten(record: Any, prefix: str = "") -> dict[str, Any]:
+    if not dataclasses.is_dataclass(record):
+        raise ConfigError(f"not a dataclass row: {record!r}")
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(record):
+        value = getattr(record, field.name)
+        key = f"{prefix}{field.name}"
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            out.update(_flatten(value, prefix=f"{key}."))
+        elif isinstance(value, tuple):
+            out[key] = ";".join(str(v) for v in value)
+        else:
+            out[key] = value
+    return out
+
+
+def to_csv(points: Sequence[Any]) -> str:
+    """Render a list of result dataclasses as CSV text."""
+    if not points:
+        return ""
+    rows = [_flatten(p) for p in points]
+    header = list(rows[0])
+    for row in rows[1:]:
+        if list(row) != header:
+            raise ConfigError("heterogeneous result rows cannot share a CSV")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=header, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(points: Sequence[Any], path) -> None:
+    """Write ``to_csv`` output to ``path``."""
+    with open(path, "w", newline="") as fh:
+        fh.write(to_csv(points))

@@ -1,0 +1,68 @@
+"""Figure 5: FM bandwidth vs message size and number of contexts, using
+the original (static) buffer division.
+
+Methodology as in the paper: the p2p bandwidth benchmark runs as a single
+application — no context switches occur — but the buffers are divided for
+the *maximum* number of contexts n, so the credit window shrinks as
+C0 = Br / (n^2 p) and bandwidth collapses; at n >= 7 the window is zero
+and "no communication is even possible".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fm.buffers import StaticPartition
+from repro.fm.config import FMConfig
+from repro.fm.harness import FMNetwork
+from repro.sim.core import Simulator
+from repro.experiments.common import FIG5_MESSAGE_SIZES, messages_for_size
+from repro.workloads.bandwidth import BandwidthResult, bandwidth_benchmark
+
+
+@dataclass(frozen=True)
+class Figure5Point:
+    """One cell of the figure's surface."""
+
+    contexts: int
+    message_bytes: int
+    c0: int
+    mbps: float
+    messages: int
+
+
+def _measure_point(contexts: int, message_bytes: int, messages: int,
+                   num_processors: int) -> Figure5Point:
+    sim = Simulator()
+    config = FMConfig(max_contexts=contexts, num_processors=num_processors)
+    policy = StaticPartition()
+    c0 = policy.geometry(config).initial_credits
+    net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True)
+    sender, receiver = net.create_job(1, [0, 1], policy)
+    workload = bandwidth_benchmark(messages, message_bytes)
+    results = {}
+
+    def run(ep):
+        results[ep.rank] = yield from workload(ep)
+
+    procs = [sim.process(run(ep)) for ep in (sender, receiver)]
+    for proc in procs:
+        sim.run_until_processed(proc, max_events=200_000_000)
+    result: BandwidthResult = results[0]
+    return Figure5Point(contexts=contexts, message_bytes=message_bytes,
+                        c0=c0, mbps=result.mbps, messages=messages)
+
+
+def run_figure5(contexts: Sequence[int] = tuple(range(1, 9)),
+                message_sizes: Sequence[int] = FIG5_MESSAGE_SIZES,
+                target_packets: int = 1500,
+                num_processors: int = 16) -> list[Figure5Point]:
+    """The full sweep: one point per (contexts, message size)."""
+    points = []
+    for n in contexts:
+        config = FMConfig(max_contexts=n, num_processors=num_processors)
+        for size in message_sizes:
+            messages = messages_for_size(config, size, target_packets)
+            points.append(_measure_point(n, size, messages, num_processors))
+    return points

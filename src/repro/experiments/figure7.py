@@ -1,0 +1,103 @@
+"""Figures 7 and 9 share this driver: per-stage context-switch cost vs
+cluster size, under an all-to-all load.
+
+Two all-to-all jobs (each spanning all nodes) occupy two gang slots; the
+masterd rotates with a (scaled) quantum; every switch's halt / buffer
+switch / release stages are timed per node.  Figure 7 uses the full-copy
+algorithm, Figure 9 the improved valid-packets-only copy — the paper's
+point being that the full copy is flat (~capacity / copy rate) and
+dominant, while the improved one drops by an order of magnitude and
+scales with occupancy, and that halt/release grow with the node count
+(global protocols) while the copy does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fm.config import FMConfig
+from repro.gluefm.switch import FullCopy, SwitchAlgorithm
+from repro.metrics.counters import StageTimings, SwitchRecorder
+from repro.metrics.occupancy import OccupancySummary, summarize_occupancy
+from repro.parpar.cluster import ClusterConfig, ParParCluster
+from repro.parpar.job import JobSpec
+from repro.experiments.common import NODE_SWEEP
+from repro.workloads.alltoall import alltoall_stream
+
+
+@dataclass(frozen=True)
+class SwitchOverheadPoint:
+    """One x-axis position of Figure 7 / Figure 9."""
+
+    nodes: int
+    algorithm: str
+    switches: int
+    mean_cycles: StageTimings
+    occupancy: OccupancySummary
+    clock_hz: float = 200e6
+
+
+def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
+                     quantum: float = 0.012,
+                     num_switches: int = 10,
+                     message_bytes: int = 8192,
+                     num_processors: int = 16,
+                     max_events: int = 400_000_000) -> SwitchOverheadPoint:
+    """Measure one cluster size with one switch algorithm.
+
+    Two *endless* all-to-all jobs stream under the gang scheduler and the
+    simulation runs until ``num_switches`` switch rounds complete — every
+    sampled switch therefore interrupts live traffic, which is the
+    condition the paper measures under (and the condition that puts
+    packets in the buffers for Figure 8).  The jobs are then abandoned,
+    not drained: nothing in the stage timings depends on how the run ends.
+    """
+    fm = FMConfig(max_contexts=2, num_processors=num_processors)
+    cluster = ParParCluster(ClusterConfig(
+        num_nodes=nodes, time_slots=2, quantum=quantum,
+        buffer_switching=True, switch_algorithm=algorithm, fm=fm,
+    ))
+    workload = alltoall_stream(until=float("inf"), message_bytes=message_bytes)
+    for i in range(2):
+        cluster.submit(JobSpec(f"a2a{i}", nodes, workload))
+    sim = cluster.sim
+    budget = max_events
+    while cluster.masterd.switches_completed < num_switches:
+        if budget <= 0:
+            raise RuntimeError(f"switch sweep exceeded max_events={max_events}")
+        sim.step()
+        budget -= 1
+
+    recorder: SwitchRecorder = cluster.recorder
+    switched = recorder.with_outgoing_job()
+    # Build the mean over switches that actually moved a context.
+    sub = SwitchRecorder()
+    for rec in switched:
+        sub.add(rec)
+    clock = cluster.nodes[0].cpu.spec.clock_hz
+    return SwitchOverheadPoint(
+        nodes=nodes,
+        algorithm=algorithm.name,
+        switches=len(switched),
+        mean_cycles=sub.mean_stage_cycles(clock),
+        occupancy=summarize_occupancy(switched),
+        clock_hz=clock,
+    )
+
+
+def run_switch_overheads(algorithm: SwitchAlgorithm,
+                         nodes: Sequence[int] = NODE_SWEEP,
+                         quantum: float = 0.012,
+                         num_switches: int = 10,
+                         message_bytes: int = 8192) -> list[SwitchOverheadPoint]:
+    """The node sweep for one algorithm (Fig. 7: FullCopy, Fig. 9: ValidOnly)."""
+    return [run_switch_point(n, algorithm, quantum=quantum,
+                             num_switches=num_switches,
+                             message_bytes=message_bytes)
+            for n in nodes]
+
+
+def run_figure7(nodes: Sequence[int] = NODE_SWEEP, **kwargs) -> list[SwitchOverheadPoint]:
+    """Figure 7: the full-copy buffer switch."""
+    return run_switch_overheads(FullCopy(), nodes=nodes, **kwargs)

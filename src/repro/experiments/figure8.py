@@ -1,0 +1,54 @@
+"""Figure 8: valid packets in the buffers at switch time, vs cluster size.
+
+Sampled inside the buffer-switch stage of the same all-to-all runs that
+produce Figure 7.  The paper's observations, which the model reproduces:
+
+- the send queue stays nearly empty ("the host processor cannot generate
+  messages fast enough to fill the queue" — the LANai drains it faster
+  than the ~80 MB/s PIO path fills it);
+- the receive queue holds a modest but growing number of packets as
+  nodes are added (fan-in bursts of the all-to-all exceed the host's
+  extraction rate, and more peers mean more in-flight packets caught by
+  the flush).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gluefm.switch import FullCopy, SwitchAlgorithm
+from repro.experiments.common import NODE_SWEEP
+from repro.experiments.figure7 import run_switch_point
+
+
+@dataclass(frozen=True)
+class OccupancyPoint:
+    """One x-axis position of Figure 8."""
+
+    nodes: int
+    mean_send_valid: float
+    mean_recv_valid: float
+    max_send_valid: int
+    max_recv_valid: int
+    samples: int
+
+
+def run_figure8(nodes: Sequence[int] = NODE_SWEEP,
+                algorithm: SwitchAlgorithm | None = None,
+                **kwargs) -> list[OccupancyPoint]:
+    """The occupancy sweep (defaults to the Figure-7 full-copy runs)."""
+    algo = algorithm if algorithm is not None else FullCopy()
+    points = []
+    for n in nodes:
+        result = run_switch_point(n, algo, **kwargs)
+        occ = result.occupancy
+        points.append(OccupancyPoint(
+            nodes=n,
+            mean_send_valid=occ.mean_send,
+            mean_recv_valid=occ.mean_recv,
+            max_send_valid=occ.max_send,
+            max_recv_valid=occ.max_recv,
+            samples=occ.samples,
+        ))
+    return points

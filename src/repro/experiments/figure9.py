@@ -1,0 +1,20 @@
+"""Figure 9: per-stage switch cost with the improved (valid-only) copy.
+
+Same driver as Figure 7, with the :class:`ValidOnlyCopy` algorithm: the
+buffer-switch stage collapses by roughly an order of magnitude and now
+grows with the (occupancy-dependent) number of valid packets rather than
+staying pinned at the capacity copy cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gluefm.switch import ValidOnlyCopy
+from repro.experiments.common import NODE_SWEEP
+from repro.experiments.figure7 import SwitchOverheadPoint, run_switch_overheads
+
+
+def run_figure9(nodes: Sequence[int] = NODE_SWEEP, **kwargs) -> list[SwitchOverheadPoint]:
+    """Figure 9: the improved buffer switch."""
+    return run_switch_overheads(ValidOnlyCopy(), nodes=nodes, **kwargs)

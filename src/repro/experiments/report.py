@@ -1,0 +1,105 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print these tables so a run of ``pytest benchmarks/``
+reproduces the figures as rows/series, the way the paper reports them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.figure5 import Figure5Point
+from repro.experiments.figure6 import Figure6Point
+from repro.experiments.figure7 import SwitchOverheadPoint
+from repro.experiments.figure8 import OccupancyPoint
+from repro.experiments.table_overhead import OverheadSummary
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _grid(points, value_of, row_key, col_key, row_name, col_name, fmt="{:.1f}"):
+    """Pivot a list of points into a rows-by-columns text grid."""
+    rows_keys = sorted({row_key(p) for p in points})
+    cols_keys = sorted({col_key(p) for p in points})
+    lookup = {(row_key(p), col_key(p)): value_of(p) for p in points}
+    headers = [f"{row_name}\\{col_name}"] + [str(c) for c in cols_keys]
+    rows = []
+    for r in rows_keys:
+        row = [str(r)]
+        for c in cols_keys:
+            value = lookup.get((r, c))
+            row.append("-" if value is None else fmt.format(value))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def render_figure5(points: Sequence[Figure5Point]) -> str:
+    """Bandwidth [MB/s] grid: contexts x message size (paper Fig. 5)."""
+    body = _grid(points, lambda p: p.mbps,
+                 row_key=lambda p: p.contexts, col_key=lambda p: p.message_bytes,
+                 row_name="ctx", col_name="msgB")
+    return ("Figure 5 - bandwidth [MB/s], original FM buffer division "
+            "(C0 = Br/(n^2 p))\n" + body)
+
+
+def render_figure6(points: Sequence[Figure6Point]) -> str:
+    """Total bandwidth [MB/s] grid: jobs x message size (paper Fig. 6)."""
+    body = _grid(points, lambda p: p.aggregate_mbps,
+                 row_key=lambda p: p.jobs, col_key=lambda p: p.message_bytes,
+                 row_name="jobs", col_name="msgB")
+    return ("Figure 6 - total bandwidth [MB/s], buffer switching scheme "
+            "(C0 = Br/p)\n" + body)
+
+
+def render_switch_overheads(points: Sequence[SwitchOverheadPoint], figure: str) -> str:
+    """Per-stage cycles vs nodes (paper Figs. 7 and 9)."""
+    headers = ["nodes", "halt[cyc]", "switch[cyc]", "release[cyc]",
+               "total[cyc]", "switch[ms]", "switches"]
+    rows = []
+    for p in points:
+        cyc = p.mean_cycles
+        rows.append([p.nodes, cyc.halt, cyc.switch, cyc.release, cyc.total,
+                     f"{1000 * cyc.switch / p.clock_hz:.2f}", p.switches])
+    algo = points[0].algorithm if points else "?"
+    return (f"Figure {figure} - context switch stage costs, {algo} "
+            "(mean per switch)\n" + format_table(headers, rows))
+
+
+def render_figure8(points: Sequence[OccupancyPoint]) -> str:
+    """Valid packets at switch time vs nodes (paper Fig. 8)."""
+    headers = ["nodes", "send(mean)", "recv(mean)", "send(max)", "recv(max)",
+               "samples"]
+    rows = [[p.nodes, f"{p.mean_send_valid:.1f}", f"{p.mean_recv_valid:.1f}",
+             p.max_send_valid, p.max_recv_valid, p.samples] for p in points]
+    return ("Figure 8 - valid packets in the buffers during switching\n"
+            + format_table(headers, rows))
+
+
+def render_headline(summaries: Sequence[OverheadSummary]) -> str:
+    """Section 4.2's headline bounds vs measured."""
+    headers = ["algorithm", "switch[ms]", "switch[cyc]", "paper bound[ms]",
+               "within", "overhead@1s"]
+    rows = []
+    for s in summaries:
+        rows.append([
+            s.algorithm,
+            f"{1000 * s.max_switch_seconds:.2f}",
+            s.max_switch_cycles,
+            f"{1000 * s.paper_bound_seconds:.1f}",
+            "yes" if s.within_paper_bound else "NO",
+            f"{s.overhead_percent_at_1s_quantum:.3f}%",
+        ])
+    return ("Headline overheads (Sec. 4.2): buffer switch cost on the full "
+            "cluster\n" + format_table(headers, rows))

@@ -1,0 +1,41 @@
+"""The Fast Messages (FM) user-level communication library, simulated.
+
+Mirrors the structure of Illinois FM 2.0 as the paper describes it
+(Section 2.2):
+
+- a host-side library (:mod:`~repro.fm.api`) linked into each process,
+  with ``FM_initialize`` / ``FM_send`` / ``FM_extract``;
+- a LANai control program (:mod:`~repro.fm.firmware`) with a send context
+  that scans per-process send queues and a receive context that consumes
+  arriving packets and DMAs them to host receive queues;
+- credit-based flow control with low-water-mark refills and piggybacking
+  (:mod:`~repro.fm.credits`);
+- per-process communication contexts whose queue sizes are set by a
+  buffer-partitioning policy (:mod:`~repro.fm.buffers`): the original
+  static division, or the paper's full-buffer scheme enabled by gang
+  scheduling;
+- the original FM management daemons, GRM and CM (:mod:`~repro.fm.grm`,
+  :mod:`~repro.fm.cm`), kept as the baseline that ParPar integration
+  replaces.
+"""
+
+from repro.fm.buffers import BufferPolicy, FullBuffer, StaticPartition
+from repro.fm.config import FMConfig
+from repro.fm.context import ContextState, FMContext
+from repro.fm.credits import CreditState
+from repro.fm.packet import Packet, PacketType
+from repro.fm.queues import ReceiveQueue, SendQueue
+
+__all__ = [
+    "BufferPolicy",
+    "ContextState",
+    "CreditState",
+    "FMConfig",
+    "FMContext",
+    "FullBuffer",
+    "Packet",
+    "PacketType",
+    "ReceiveQueue",
+    "SendQueue",
+    "StaticPartition",
+]

@@ -1,0 +1,191 @@
+"""The host-side FM library linked into each application process.
+
+``FMLibrary`` is what the paper calls "a library that is linked to user
+applications and contains an initialization routine and the basic
+routines for sending and receiving messages".  ``send`` and ``extract``
+are generators: application workloads are simulated processes and yield
+through these calls, which charge host CPU time (the ~80 MB/s
+write-combining PIO write is the sender-side bottleneck that caps peak
+bandwidth) and interact with the context's queues and credits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError, CreditError
+from repro.fm.context import FMContext
+from repro.fm.firmware import LanaiFirmware
+from repro.fm.packet import Packet, PacketType
+from repro.hardware.node import HostNode
+from repro.sim.trace import NullTracer, Tracer
+
+
+@dataclass(frozen=True)
+class Message:
+    """A fully reassembled application message.
+
+    ``tag`` and ``payload`` exist for the benefit of higher layers (the
+    MPI shim in :mod:`repro.mpi`): the simulation models bytes and
+    timing, but applications may attach an opaque Python object that
+    rides the last fragment, plus an integer tag for matching.
+    """
+
+    src_rank: int
+    nbytes: int
+    msg_id: int
+    completed_at: float
+    tag: int = 0
+    payload: object = None
+
+
+class FMLibrary:
+    """One process's view of FM: FM_send / FM_extract over its context."""
+
+    _msg_ids = itertools.count(1)
+
+    def __init__(self, host: HostNode, firmware: LanaiFirmware, context: FMContext,
+                 tracer: Optional[Tracer] = None):
+        if firmware.nic.node_id != host.node_id:
+            raise ConfigError("FMLibrary host and firmware NIC must be the same node")
+        self.sim = host.sim
+        self.host = host
+        self.firmware = firmware
+        self.context = context
+        self.config = context.config
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._reassembly: dict[tuple[int, int], int] = {}  # (src_rank,msg_id) -> frags seen
+        # statistics
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------ sending
+    def send(self, dst_rank: int, nbytes: int, tag: int = 0, payload=None):
+        """FM_send: fragment, acquire credits, PIO into the send queue.
+
+        A generator — drive it with ``yield from`` inside a simulated
+        process.  Blocks (simulated) on credits and on send-queue space.
+        Raises :class:`CreditError` immediately when the credit window is
+        zero, i.e. when this buffer partitioning cannot communicate at all.
+
+        ``tag``/``payload`` are carried for higher layers; they have no
+        effect on timing.
+        """
+        ctx = self.context
+        if nbytes < 0:
+            raise ConfigError(f"negative message size {nbytes}")
+        if dst_rank == ctx.rank:
+            raise ConfigError("FM does not support self-sends")
+        if ctx.geometry.initial_credits == 0:
+            raise CreditError(
+                "zero credits per peer: no communication possible "
+                f"(C0=0 for n={self.config.max_contexts} contexts)"
+            )
+        dst_node = ctx.node_of_rank(dst_rank)
+        cfg = self.config
+        nfrags = cfg.packets_for(nbytes)
+        msg_id = next(self._msg_ids)
+        payload_obj = payload  # the loop variable below shadows the name
+
+        yield self.host.cpu.busy(cfg.host_msg_overhead)
+        remaining = nbytes
+        for index in range(nfrags):
+            payload = min(remaining, cfg.payload_bytes)
+            yield self.host.cpu.busy(cfg.host_packet_overhead + payload / cfg.pio_rate)
+            while ctx.send_queue.is_full:
+                yield ctx.send_queue.wait_space()
+            # Level-triggered credit wait with an atomic take on wakeup:
+            # this process can be SIGSTOPped at any yield, and a taken
+            # credit must always be accounted for by a visible queued
+            # packet (the credit-conservation audits check exactly that).
+            while not ctx.credits.try_acquire_send(dst_node):
+                yield ctx.credits.wait_send(dst_node)
+            packet = Packet(
+                PacketType.DATA,
+                src_node=ctx.node_id, dst_node=dst_node,
+                job_id=ctx.job_id, src_rank=ctx.rank, dst_rank=dst_rank,
+                payload_bytes=payload, msg_id=msg_id,
+                frag_index=index, frag_count=nfrags,
+                piggyback_refill=ctx.credits.take_piggyback(dst_node),
+                tag=tag,
+                payload_obj=payload_obj if index == nfrags - 1 else None,
+            )
+            ctx.send_queue.append(packet)
+            remaining -= payload
+
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.tracer.record("msg-send", node=ctx.node_id, job=ctx.job_id,
+                           dst_rank=dst_rank, nbytes=nbytes, msg_id=msg_id)
+
+    # ------------------------------------------------------------------ receiving
+    def extract(self):
+        """FM_extract: consume one packet from the receive queue.
+
+        A generator whose return value is the completed :class:`Message`
+        if this packet finished one, else ``None``.  Blocks (simulated)
+        until a packet is available.  Handles credit bookkeeping: the
+        consume is recorded, and when the sender's credits (as seen from
+        here) fall below the low-water mark an explicit refill control
+        packet is emitted.
+        """
+        ctx = self.context
+        cfg = self.config
+        # Level-triggered wait + atomic pop: the packet stays visible in
+        # the queue until this process actually runs (SIGSTOP-safe).
+        while True:
+            packet = ctx.recv_queue.try_pop()
+            if packet is not None:
+                break
+            yield ctx.recv_queue.wait_nonempty()
+        # Note the consume atomically with the dequeue (see credits.py).
+        ctx.credits.note_consumed(packet.src_node)
+        yield self.host.cpu.busy(
+            cfg.extract_packet_overhead + packet.payload_bytes / cfg.extract_copy_rate
+        )
+
+        if ctx.credits.refill_due(packet.src_node):
+            yield self.host.cpu.busy(cfg.refill_send_overhead)
+            while ctx.send_queue.is_full:
+                yield ctx.send_queue.wait_space()
+            refill = ctx.credits.take_refill(packet.src_node)
+            if refill:
+                ctx.send_queue.append(Packet(
+                    PacketType.REFILL,
+                    src_node=ctx.node_id, dst_node=packet.src_node,
+                    job_id=ctx.job_id, refill_credits=refill,
+                ))
+
+        key = (packet.src_rank, packet.msg_id)
+        seen = self._reassembly.get(key, 0) + 1
+        if seen < packet.frag_count:
+            self._reassembly[key] = seen
+            return None
+        self._reassembly.pop(key, None)
+        nbytes = (packet.frag_count - 1) * cfg.payload_bytes + packet.payload_bytes
+        self.messages_received += 1
+        self.bytes_received += nbytes
+        message = Message(src_rank=packet.src_rank, nbytes=nbytes,
+                          msg_id=packet.msg_id, completed_at=self.sim.now,
+                          tag=packet.tag, payload=packet.payload_obj)
+        self.tracer.record("msg-recv", node=ctx.node_id, job=ctx.job_id,
+                           src_rank=packet.src_rank, nbytes=nbytes)
+        return message
+
+    def extract_messages(self, count: int):
+        """Extract until ``count`` complete messages have been received."""
+        messages = []
+        while len(messages) < count:
+            msg = yield from self.extract()
+            if msg is not None:
+                messages.append(msg)
+        return messages
+
+    @property
+    def pending_packets(self) -> int:
+        """Packets waiting in the receive queue right now."""
+        return len(self.context.recv_queue)

@@ -1,0 +1,142 @@
+"""FM's credit-based flow control (paper Section 2.2).
+
+Each process holds, *per peer node*, two counters: how many packets it may
+still send to that peer (one credit = one receive-queue slot reserved
+there), and how many packets it has consumed from that peer since it last
+told the peer about them.  Credits are returned by **refill** messages —
+sent explicitly when the peer's remaining credits (as seen from here)
+fall below the low-water mark, or piggybacked on any data packet already
+travelling in the reverse direction.
+
+``c0 == 0`` is a legal configuration (it is exactly what the original
+static partitioning produces at 7-8 contexts) and means communication is
+impossible; :meth:`acquire_send` raises :class:`CreditError` so callers
+can report zero bandwidth rather than deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import CreditError
+from repro.sim.core import Event, Simulator
+from repro.sim.primitives import Semaphore
+
+
+class CreditState:
+    """Per-context flow-control state (lives in process memory)."""
+
+    def __init__(self, sim: Simulator, c0: int, peers: Iterable[int],
+                 low_water_fraction: float = 0.5):
+        if c0 < 0:
+            raise CreditError(f"negative initial credits {c0}")
+        if not 0.0 <= low_water_fraction < 1.0:
+            raise CreditError(f"low_water_fraction {low_water_fraction} out of range")
+        self.sim = sim
+        self.c0 = c0
+        self.low_water = int(c0 * low_water_fraction)
+        #: consume this many from one peer before telling it (>=1)
+        self.refill_threshold = max(1, c0 - self.low_water)
+        self._send_credits: dict[int, Semaphore] = {
+            peer: Semaphore(sim, value=c0) for peer in peers
+        }
+        self._consumed: dict[int, int] = {peer: 0 for peer in peers}
+        # statistics
+        self.refills_sent = 0
+        self.refills_piggybacked = 0
+        self.credits_received = 0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def peers(self) -> list[int]:
+        return sorted(self._send_credits)
+
+    def available(self, peer: int) -> int:
+        """Credits currently available for sending to ``peer``."""
+        return self._peer_sem(peer).value
+
+    def consumed_unreported(self, peer: int) -> int:
+        """Packets consumed from ``peer`` not yet refilled back to it."""
+        return self._consumed[peer]
+
+    def _peer_sem(self, peer: int) -> Semaphore:
+        try:
+            return self._send_credits[peer]
+        except KeyError:
+            raise CreditError(f"unknown peer node {peer}") from None
+
+    # -- sender side -------------------------------------------------------------
+    def acquire_send(self, peer: int) -> Event:
+        """One credit toward ``peer``; the event blocks until available.
+
+        The credit is taken when the event *triggers* — if the holder can
+        be SIGSTOPped (gang-scheduled user code), prefer the
+        ``try_acquire_send`` / ``wait_send`` pair, which never parks a
+        taken credit inside an undelivered event.
+        """
+        self._require_window()
+        return self._peer_sem(peer).acquire(1)
+
+    def try_acquire_send(self, peer: int) -> bool:
+        """Atomically take one credit toward ``peer`` if available now."""
+        self._require_window()
+        return self._peer_sem(peer).try_acquire(1)
+
+    def wait_send(self, peer: int) -> Event:
+        """Level-triggered: fires when a credit toward ``peer`` appears
+        (without taking it); pair with ``try_acquire_send`` in a loop."""
+        self._require_window()
+        return self._peer_sem(peer).wait_value(1)
+
+    def _require_window(self) -> None:
+        if self.c0 == 0:
+            raise CreditError(
+                "zero initial credits: communication impossible under this "
+                "buffer partitioning (paper Fig. 5, >= 7 contexts)"
+            )
+
+    def on_refill(self, peer: int, count: int) -> None:
+        """Peer returned ``count`` credits (explicit refill or piggyback)."""
+        if count <= 0:
+            raise CreditError(f"refill of {count} credits from {peer}")
+        sem = self._peer_sem(peer)
+        if sem.value + count > self.c0:
+            raise CreditError(
+                f"refill overflow from {peer}: {sem.value}+{count} > C0={self.c0}"
+            )
+        self.credits_received += count
+        sem.release(count)
+
+    # -- receiver side -------------------------------------------------------------
+    #
+    # The receiver-side API is deliberately split so that callers can keep
+    # every credit externally visible at any preemption point: a consumed
+    # packet is *noted* atomically with its removal from the receive
+    # queue, and the counter is *taken* (reset) atomically with enqueueing
+    # the refill/piggyback packet that carries it.  A SIGSTOP between the
+    # two leaves the credits parked in ``consumed_unreported`` — never in
+    # limbo.  (The credit-conservation audits in the test suite rely on
+    # this.)
+
+    def note_consumed(self, peer: int) -> None:
+        """Record one packet from ``peer`` as consumed (not yet reported)."""
+        self._consumed[peer] = self._consumed[peer] + 1
+
+    def refill_due(self, peer: int) -> bool:
+        """True when the peer's window (as seen from here) has dropped
+        below the low-water mark and an explicit refill should be sent."""
+        return self._consumed[peer] >= self.refill_threshold
+
+    def take_refill(self, peer: int) -> int:
+        """Atomically take the consume-count for an explicit refill."""
+        count, self._consumed[peer] = self._consumed[peer], 0
+        if count:
+            self.refills_sent += 1
+        return count
+
+    def take_piggyback(self, peer: int) -> int:
+        """Consume-count to piggyback on a data packet heading to ``peer``."""
+        count, self._consumed[peer] = self._consumed[peer], 0
+        if count:
+            self.refills_piggybacked += 1
+        return count

@@ -1,0 +1,126 @@
+"""The Global Resource Manager — original FM's global daemon.
+
+In stock FM every process starting up contacts the GRM over the control
+network to map its hard-coded job *name* to a dynamically allocated job
+ID and its rank, and to synchronise start-up (no process may send until
+all are up, or packets for not-yet-created contexts would be dropped and
+credits lost).  ParPar integration eliminates this daemon entirely —
+masterd already knows IDs and ranks before the process is forked — which
+is what the paper's Section 3 replaces.  We keep the GRM as the
+*baseline* management path so the start-up cost the paper eliminates can
+be measured (see benchmarks/test_init_protocol.py).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.hardware.ethernet import ControlNetwork
+from repro.sim.core import Simulator
+from repro.sim.primitives import Store
+
+
+@dataclass
+class _JobRecord:
+    job_id: int
+    node_ids: tuple
+    waiters: list = field(default_factory=list)  # (node_id, all_up_event)
+    registered_nodes: set = field(default_factory=set)
+    ready_nodes: set = field(default_factory=set)
+
+    @property
+    def all_up(self) -> bool:
+        """Safe-to-send: every process *created its context* (not merely
+        registered) — a packet toward a context that does not exist yet
+        would be dropped and its credit lost forever."""
+        return self.ready_nodes == set(self.node_ids)
+
+
+class GlobalResourceManager:
+    """GRM daemon: job-name -> job-ID mapping, ranks, and the all-up barrier.
+
+    Rank assignment follows the job's node list (the FM configuration
+    file defines the placement): rank i is the process on node_ids[i].
+    """
+
+    #: control-network endpoint ID for the GRM (off the worker-node range)
+    ENDPOINT = 1000
+
+    #: daemon-side cost per registration: TCP accept, name lookup, state
+    #: update.  Registrations *serialise* at the single GRM — the hidden
+    #: scaling cost ParPar's environment hand-off removes.
+    SERVICE_TIME = 0.8e-3
+
+    def __init__(self, sim: Simulator, control_net: ControlNetwork,
+                 service_time: float = SERVICE_TIME):
+        if service_time < 0:
+            raise ProtocolError("GRM service_time must be >= 0")
+        self.sim = sim
+        self.control_net = control_net
+        self.service_time = service_time
+        self._job_ids = itertools.count(1)
+        self._jobs: dict[str, _JobRecord] = {}
+        self._requests: Store = Store(sim)
+        control_net.register(self.ENDPOINT, self._on_message)
+        self.registrations = 0
+        self._server = sim.process(self._serve(), name="grm")
+
+    def _on_message(self, src: int, message) -> None:
+        if message[0] not in ("register", "ready"):
+            raise ProtocolError(f"GRM: unknown message {message!r}")
+        self._requests.put((src, message))
+
+    def _serve(self):
+        """The single-threaded daemon: one request at a time."""
+        while True:
+            src, message = yield self._requests.get()
+            if message[0] == "register":
+                if self.service_time > 0:
+                    yield self.sim.timeout(self.service_time)
+                _, job_name, node_ids, ids_event, all_up_event = message
+                self._register(src, job_name, tuple(node_ids), ids_event,
+                               all_up_event)
+            else:  # "ready": the process created its context with the CM
+                _, job_name = message
+                self._ready(src, job_name)
+
+    def _register(self, src: int, job_name: str, node_ids: tuple,
+                  ids_event, all_up_event) -> None:
+        record = self._jobs.get(job_name)
+        if record is None:
+            record = _JobRecord(job_id=next(self._job_ids), node_ids=node_ids)
+            self._jobs[job_name] = record
+        if record.node_ids != node_ids:
+            raise ProtocolError(
+                f"GRM: job {job_name!r} registered with conflicting node lists"
+            )
+        if src not in node_ids:
+            raise ProtocolError(f"GRM: node {src} not part of job {job_name!r}")
+        if src in record.registered_nodes:
+            raise ProtocolError(f"GRM: node {src} registered twice for {job_name!r}")
+        record.registered_nodes.add(src)
+        record.waiters.append((src, all_up_event))
+        self.registrations += 1
+
+        rank = node_ids.index(src)
+        self.control_net.send(self.ENDPOINT, src,
+                              ("grm-ids", record.job_id, rank, ids_event))
+
+    def _ready(self, src: int, job_name: str) -> None:
+        record = self._jobs.get(job_name)
+        if record is None:
+            raise ProtocolError(f"GRM: ready for unknown job {job_name!r}")
+        if src not in record.registered_nodes:
+            raise ProtocolError(f"GRM: ready before register from node {src}")
+        record.ready_nodes.add(src)
+        if record.all_up:
+            for node_id, ev in record.waiters:
+                self.control_net.send(self.ENDPOINT, node_id, ("grm-all-up", ev))
+
+    def job_id_of(self, job_name: str) -> int:
+        record = self._jobs.get(job_name)
+        if record is None:
+            raise ProtocolError(f"GRM: unknown job {job_name!r}")
+        return record.job_id

@@ -1,0 +1,188 @@
+"""Ring-buffer packet queues.
+
+Two flavours, matching where FM puts them:
+
+- :class:`SendQueue` — lives in NIC SRAM; the host library appends, the
+  LANai send context pops.
+- :class:`ReceiveQueue` — lives in the pinned host DMA buffer; the LANai
+  receive context appends (via DMA), ``FM_extract`` pops.
+
+Capacity is counted in packet *slots* (the unit credits protect).  The
+queues expose exactly the signalling the firmware and library need:
+blocking ``get``, blocking ``wait_space``, and a non-blocking ``append``
+that raises :class:`BufferOverflowError` — with correct flow control an
+overflow can never happen, so it is an invariant violation, not an
+expected condition (FM has no retransmission; an overflowing queue would
+mean silent packet loss and a wedged credit protocol).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import BufferOverflowError, ConfigError, SimulationError
+from repro.fm.packet import Packet
+from repro.hardware.memory import MemoryKind
+from repro.sim.core import Event, Simulator
+
+
+class PacketQueue:
+    """Fixed-capacity FIFO of packets with blocking get / space waits."""
+
+    location: MemoryKind = MemoryKind.HOST_RAM
+
+    def __init__(self, sim: Simulator, capacity_packets: int, name: str = ""):
+        if capacity_packets < 0:
+            raise ConfigError(f"negative queue capacity {capacity_packets}")
+        self.sim = sim
+        self.capacity = capacity_packets
+        self.name = name
+        self._items: Deque[Packet] = deque()
+        self._getters: Deque[Event] = deque()
+        self._space_waiters: Deque[Event] = deque()
+        self._nonempty_waiters: Deque[Event] = deque()
+        self._nonempty_callbacks: list[Callable[[], None]] = []
+        # statistics
+        self.total_appended = 0
+        self.total_removed = 0
+        self.peak_occupancy = 0
+
+    # -- observers -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._items)
+
+    @property
+    def valid_packets(self) -> int:
+        """Occupancy snapshot — what Figure 8 samples during a switch."""
+        return len(self._items)
+
+    @property
+    def valid_bytes(self) -> int:
+        return sum(p.size_bytes for p in self._items)
+
+    def snapshot(self) -> list[Packet]:
+        """The queue contents, oldest first (used by the buffer switch)."""
+        return list(self._items)
+
+    def on_nonempty(self, fn: Callable[[], None]) -> None:
+        """Register a kick: ``fn()`` runs whenever a packet is appended to
+        a previously observed-empty queue (the firmware's wakeup)."""
+        self._nonempty_callbacks.append(fn)
+
+    # -- mutation ------------------------------------------------------------
+    def append(self, packet: Packet) -> None:
+        """Enqueue; raises :class:`BufferOverflowError` when full."""
+        if self.is_full:
+            raise BufferOverflowError(
+                f"queue {self.name!r} overflow: capacity {self.capacity} packets"
+            )
+        self._items.append(packet)
+        self.total_appended += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._pop())
+        while self._nonempty_waiters and self._items:
+            self._nonempty_waiters.popleft().succeed()
+        for fn in self._nonempty_callbacks:
+            fn()
+
+    def _pop(self) -> Packet:
+        packet = self._items.popleft()
+        self.total_removed += 1
+        while self._space_waiters and not self.is_full:
+            self._space_waiters.popleft().succeed()
+        return packet
+
+    def try_pop(self) -> Optional[Packet]:
+        """Non-blocking dequeue; None when empty."""
+        if not self._items:
+            return None
+        if self._getters:
+            raise SimulationError(f"queue {self.name!r}: mixing try_pop with pending get()")
+        return self._pop()
+
+    def get(self) -> Event:
+        """Blocking dequeue: event succeeds with the next packet.
+
+        NOTE: the packet travels inside the event, so a consumer that is
+        SIGSTOPped between the trigger and its wakeup holds the packet in
+        limbo (invisible to occupancy and credit audits).  Processes that
+        can be gang-switched should use the level-triggered
+        ``wait_nonempty()`` + ``try_pop()`` pattern instead, which leaves
+        the packet in the queue until the consumer actually runs.
+        """
+        ev = Event(self.sim)
+        if self._items and not self._getters:
+            ev.succeed(self._pop())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def wait_nonempty(self) -> Event:
+        """Event that succeeds when the queue has (or gets) an item.
+
+        Level-triggered and non-consuming: the waiter must ``try_pop()``
+        after waking and re-wait if someone else got there first.
+        """
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed()
+        else:
+            self._nonempty_waiters.append(ev)
+        return ev
+
+    def wait_space(self) -> Event:
+        """Event that succeeds when at least one slot is free."""
+        ev = Event(self.sim)
+        if not self.is_full:
+            ev.succeed()
+        else:
+            self._space_waiters.append(ev)
+        return ev
+
+    # -- buffer switching support ----------------------------------------------
+    def drain_all(self) -> list[Packet]:
+        """Remove and return everything (saving a context to backing store)."""
+        packets = list(self._items)
+        self._items.clear()
+        self.total_removed += len(packets)
+        while self._space_waiters and not self.is_full:
+            self._space_waiters.popleft().succeed()
+        return packets
+
+    def load_all(self, packets: list[Packet]) -> None:
+        """Refill from a backing store (restoring a context)."""
+        if len(self._items) + len(packets) > self.capacity:
+            raise BufferOverflowError(
+                f"queue {self.name!r}: restoring {len(packets)} packets "
+                f"into {self.free_slots} free slots"
+            )
+        for packet in packets:
+            self.append(packet)
+
+
+class SendQueue(PacketQueue):
+    """Per-context send queue in NIC SRAM (written via WC PIO)."""
+
+    location = MemoryKind.NIC_SRAM
+
+
+class ReceiveQueue(PacketQueue):
+    """Per-context receive queue in the pinned host DMA buffer."""
+
+    location = MemoryKind.PINNED_RAM

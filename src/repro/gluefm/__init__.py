@@ -1,0 +1,28 @@
+"""glueFM — the network management library of the paper's Section 3.
+
+The abstract interface of Table 1, "linked with the noded", providing
+what FM's CM daemon used to do plus the new context-switch machinery:
+
+- :mod:`~repro.gluefm.api` — the eight ``COMM_*`` entry points;
+- :mod:`~repro.gluefm.flush` — the network flush protocol (Figure 3);
+- :mod:`~repro.gluefm.switch` — the buffer-switch algorithms: the full
+  copy and the improved valid-packets-only copy (Figures 7 and 9);
+- :mod:`~repro.gluefm.backing` — per-process pageable backing store;
+- :mod:`~repro.gluefm.env` — the environment-variable hand-off that
+  replaces the GRM/CM round trips at process start (Figure 2).
+"""
+
+from repro.gluefm.api import GlueFM
+from repro.gluefm.backing import BackingStore
+from repro.gluefm.flush import FlushProtocol
+from repro.gluefm.switch import FullCopy, SwitchAlgorithm, SwitchReport, ValidOnlyCopy
+
+__all__ = [
+    "BackingStore",
+    "FlushProtocol",
+    "FullCopy",
+    "GlueFM",
+    "SwitchAlgorithm",
+    "SwitchReport",
+    "ValidOnlyCopy",
+]

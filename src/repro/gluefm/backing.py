@@ -1,0 +1,106 @@
+"""Pageable backing store for switched-out communication state.
+
+"The communication state of other processes is stored temporarily in
+pageable buffers residing in each process's virtual memory" (Section 1).
+
+In the simulation the packets themselves stay inside the context's queue
+objects while the context is STORED (the firmware only serves installed
+contexts, so they are unreachable — exactly like bytes parked in a
+process's virtual memory).  What the backing store adds is *integrity
+accounting*: at save time it fingerprints the queue contents, and at
+restore time verifies that exactly the saved packets come back.  Any
+packet lost or invented across a switch trips
+:class:`~repro.errors.ContextSwitchError` — the no-loss guarantee the
+paper claims ("withstood thorough testing without packet loss") becomes a
+checked invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ContextSwitchError
+from repro.fm.context import FMContext
+
+
+@dataclass(frozen=True)
+class SavedImage:
+    """Fingerprint of one context's buffers at save time."""
+
+    job_id: int
+    send_seqs: tuple
+    recv_seqs: tuple
+    send_bytes: int
+    recv_bytes: int
+    saved_at: float
+
+    @property
+    def send_packets(self) -> int:
+        return len(self.send_seqs)
+
+    @property
+    def recv_packets(self) -> int:
+        return len(self.recv_seqs)
+
+    @property
+    def total_packets(self) -> int:
+        return len(self.send_seqs) + len(self.recv_seqs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.send_bytes + self.recv_bytes
+
+
+class BackingStore:
+    """Per-node registry of saved context images."""
+
+    def __init__(self, now):
+        self._now = now  # clock callable
+        self._images: dict[int, SavedImage] = {}
+        self.saves = 0
+        self.restores = 0
+
+    def save(self, ctx: FMContext) -> SavedImage:
+        """Record the context's buffer contents at switch-out."""
+        if ctx.job_id in self._images:
+            raise ContextSwitchError(
+                f"job {ctx.job_id} saved twice without an intervening restore"
+            )
+        image = SavedImage(
+            job_id=ctx.job_id,
+            send_seqs=tuple(p.seq for p in ctx.send_queue.snapshot()),
+            recv_seqs=tuple(p.seq for p in ctx.recv_queue.snapshot()),
+            send_bytes=ctx.send_queue.valid_bytes,
+            recv_bytes=ctx.recv_queue.valid_bytes,
+            saved_at=self._now(),
+        )
+        self._images[ctx.job_id] = image
+        self.saves += 1
+        ctx.stats.store_count += 1
+        return image
+
+    def restore(self, ctx: FMContext) -> SavedImage:
+        """Verify and consume the saved image at switch-in."""
+        image = self._images.pop(ctx.job_id, None)
+        if image is None:
+            raise ContextSwitchError(f"no saved image for job {ctx.job_id}")
+        send_now = tuple(p.seq for p in ctx.send_queue.snapshot())
+        recv_now = tuple(p.seq for p in ctx.recv_queue.snapshot())
+        if send_now != image.send_seqs or recv_now != image.recv_seqs:
+            raise ContextSwitchError(
+                f"job {ctx.job_id}: buffer contents changed while stored "
+                f"(send {len(image.send_seqs)}->{len(send_now)} pkts, "
+                f"recv {len(image.recv_seqs)}->{len(recv_now)} pkts)"
+            )
+        self.restores += 1
+        ctx.stats.restore_count += 1
+        return image
+
+    def has_image(self, job_id: int) -> bool:
+        return job_id in self._images
+
+    def image_of(self, job_id: int) -> SavedImage:
+        try:
+            return self._images[job_id]
+        except KeyError:
+            raise ContextSwitchError(f"no saved image for job {job_id}") from None

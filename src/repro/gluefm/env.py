@@ -1,0 +1,74 @@
+"""Environment-variable hand-off from noded to the forked process.
+
+"We modified FM_initialize to obtain the data it needs (such as its rank
+in the job and its context on the LANai) from special environment
+variables that are set up in advance by the noded, instead of trying to
+get them from the GRM and CM.  The actual format of these environment
+variables is set by the COMM_init_job function" (Section 3.2).
+
+This module defines that format.  It is deliberately string-typed: the
+real mechanism is ``environ``, and round-tripping through strings keeps
+the simulation honest about what information actually crosses the
+fork boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigError
+
+_PREFIX = "FM_"
+
+
+@dataclass(frozen=True)
+class ProcessEnvironment:
+    """Decoded view of the FM_* variables a forked process receives."""
+
+    job_id: int
+    rank: int
+    rank_to_node: dict[int, int]
+    sync_fd: int
+
+    @property
+    def num_procs(self) -> int:
+        return len(self.rank_to_node)
+
+
+def build_environment(job_id: int, rank: int, rank_to_node: Mapping[int, int],
+                      sync_fd: int) -> dict[str, str]:
+    """Encode job identity into FM_* environment variables."""
+    if rank not in rank_to_node:
+        raise ConfigError(f"rank {rank} absent from rank_to_node")
+    nodes = ",".join(f"{r}:{n}" for r, n in sorted(rank_to_node.items()))
+    return {
+        f"{_PREFIX}JOB_ID": str(job_id),
+        f"{_PREFIX}RANK": str(rank),
+        f"{_PREFIX}NODES": nodes,
+        f"{_PREFIX}SYNC_FD": str(sync_fd),
+    }
+
+
+def parse_environment(env: Mapping[str, str]) -> ProcessEnvironment:
+    """Decode what FM_initialize reads (raises ConfigError on bad env)."""
+    try:
+        job_id = int(env[f"{_PREFIX}JOB_ID"])
+        rank = int(env[f"{_PREFIX}RANK"])
+        sync_fd = int(env[f"{_PREFIX}SYNC_FD"])
+        nodes_raw = env[f"{_PREFIX}NODES"]
+    except KeyError as missing:
+        raise ConfigError(f"FM environment variable missing: {missing}") from None
+    except ValueError as bad:
+        raise ConfigError(f"malformed FM environment: {bad}") from None
+    rank_to_node: dict[int, int] = {}
+    for part in nodes_raw.split(","):
+        r_str, _, n_str = part.partition(":")
+        try:
+            rank_to_node[int(r_str)] = int(n_str)
+        except ValueError:
+            raise ConfigError(f"malformed FM_NODES entry {part!r}") from None
+    if rank not in rank_to_node:
+        raise ConfigError(f"FM_RANK {rank} not present in FM_NODES")
+    return ProcessEnvironment(job_id=job_id, rank=rank,
+                              rank_to_node=rank_to_node, sync_fd=sync_fd)

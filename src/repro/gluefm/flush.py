@@ -1,0 +1,175 @@
+"""The network flush protocol — Figure 3's state machine.
+
+Before buffers can be swapped the network must be empty: no packet may be
+in flight toward a context that is about to be switched out.  Each NIC
+
+1. stops transmitting on a packet boundary (the noded sets the halt bit),
+2. broadcasts a HALT control packet to every other participant ("I will
+   send no more"), via a serial loop since Myrinet has no broadcast, and
+3. collects HALT packets from all p-1 peers.
+
+Because FM uses one fixed route per pair and Myrinet is FIFO, a HALT
+arrives after every data packet its sender emitted — so once all HALTs
+are in, nothing more can arrive.  The *local* halt and the *arriving*
+halts interleave arbitrarily (nodes are not synchronised); the state is
+(S|H, k): S/H = still-sending / locally-halted, k = halted nodes known
+of, counting ourselves — exactly the paper's Figure 3.
+
+Releasing after the switch uses the identical protocol with READY
+packets: broadcast readiness, collect p-1 READYs, only then re-open the
+send gate.
+
+Rounds repeat every gang quantum.  Counters are cumulative: a fast
+neighbour's HALT for round r+1 may land before this node even begins
+round r+1 (an "ah" edge from an S,0-equivalent state), and must be
+banked, never lost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ProtocolError
+from repro.fm.firmware import LanaiFirmware
+from repro.fm.packet import Packet, PacketType
+from repro.sim.core import Event, Simulator
+from repro.sim.trace import NullTracer, Tracer
+
+
+class FlushProtocol:
+    """Halt/release coordination for one NIC."""
+
+    def __init__(self, sim: Simulator, firmware: LanaiFirmware,
+                 participants: Iterable[int], tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.firmware = firmware
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._participants: set[int] = set(participants)
+        me = firmware.nic.node_id
+        if me not in self._participants:
+            raise ProtocolError(f"node {me} must be among the flush participants")
+        # Cumulative counters (see module docstring).
+        self._halts_received = 0
+        self._readys_received = 0
+        self._halt_round = 0
+        self._ready_round = 0
+        self._flush_event: Optional[Event] = None
+        self._release_event: Optional[Event] = None
+        firmware.register_control_handler(PacketType.HALT, self._on_halt)
+        firmware.register_control_handler(PacketType.READY, self._on_ready)
+
+    # ------------------------------------------------------------------ topology
+    @property
+    def participants(self) -> list[int]:
+        return sorted(self._participants)
+
+    @property
+    def peers(self) -> int:
+        return len(self._participants) - 1
+
+    def add_node(self, node_id: int) -> None:
+        if self._flush_event is not None or self._release_event is not None:
+            raise ProtocolError("cannot change topology mid-flush")
+        self._participants.add(node_id)
+
+    def remove_node(self, node_id: int) -> None:
+        if self._flush_event is not None or self._release_event is not None:
+            raise ProtocolError("cannot change topology mid-flush")
+        if node_id == self.firmware.nic.node_id:
+            raise ProtocolError("a node cannot remove itself from the flush set")
+        self._participants.discard(node_id)
+
+    # ------------------------------------------------------------------ state (Fig. 3)
+    @property
+    def state(self) -> tuple[str, int]:
+        """Current (S|H, k) state of the in-progress round.
+
+        ``k`` counts halted nodes we know of, including ourselves once we
+        halted locally.
+        """
+        in_round_halts = self._halts_received - self.peers * max(0, self._halt_round - 1)
+        if self._flush_event is not None:
+            return ("H", min(in_round_halts, self.peers) + 1)
+        # Not yet locally halted for the next round: banked halts only.
+        banked = self._halts_received - self.peers * self._halt_round
+        return ("S", max(0, banked))
+
+    @property
+    def is_flushed(self) -> bool:
+        return self._flush_event is not None and self._flush_event.triggered
+
+    # ------------------------------------------------------------------ flush
+    def begin_flush(self) -> Event:
+        """Local halt ('lh' transition): the halt bit is already set.
+
+        Broadcasts HALT to all peers and returns an event that triggers
+        when every peer's HALT has been collected — the network is then
+        guaranteed silent toward this node.
+        """
+        if self._flush_event is not None:
+            raise ProtocolError("flush already in progress")
+        if self._halt_round != self._ready_round:
+            raise ProtocolError("previous round's release never completed")
+        if not self.firmware.nic.halted:
+            raise ProtocolError("begin_flush before the halt bit was set")
+        self._halt_round += 1
+        self._flush_event = Event(self.sim)
+        self.tracer.record("flush-local-halt", node=self.firmware.nic.node_id,
+                           round=self._halt_round, state=self.state)
+        self.firmware.broadcast_control(PacketType.HALT, self._participants)
+        self._check_flush()
+        return self._flush_event
+
+    def _on_halt(self, packet: Packet) -> None:
+        if packet.src_node not in self._participants:
+            raise ProtocolError(f"HALT from non-participant {packet.src_node}")
+        self._halts_received += 1
+        self.tracer.record("flush-halt-arrived", node=self.firmware.nic.node_id,
+                           src=packet.src_node, state=self.state)
+        self._check_flush()
+
+    def _check_flush(self) -> None:
+        ev = self._flush_event
+        if ev is None or ev.triggered:
+            return
+        if self._halts_received >= self.peers * self._halt_round:
+            # State (H, p): everyone halted; the network is flushed.
+            self.tracer.record("flush-complete", node=self.firmware.nic.node_id,
+                               round=self._halt_round)
+            ev.succeed()
+
+    # ------------------------------------------------------------------ release
+    def begin_release(self) -> Event:
+        """Broadcast READY; the event triggers when all peers are ready.
+
+        The caller re-opens the halt gate only after this event — sending
+        into a node that has not finished its buffer switch would deliver
+        packets to the wrong context.
+        """
+        if self._flush_event is None or not self._flush_event.triggered:
+            raise ProtocolError("release before flush completed")
+        if self._release_event is not None:
+            raise ProtocolError("release already in progress")
+        self._ready_round += 1
+        event = self._release_event = Event(self.sim)
+        self.firmware.broadcast_control(PacketType.READY, self._participants)
+        self._check_release()
+        return event
+
+    def _on_ready(self, packet: Packet) -> None:
+        if packet.src_node not in self._participants:
+            raise ProtocolError(f"READY from non-participant {packet.src_node}")
+        self._readys_received += 1
+        self._check_release()
+
+    def _check_release(self) -> None:
+        ev = self._release_event
+        if ev is None or ev.triggered:
+            return
+        if self._readys_received >= self.peers * self._ready_round:
+            self.tracer.record("release-complete", node=self.firmware.nic.node_id,
+                               round=self._ready_round)
+            ev.succeed()
+            # Round fully over; allow the next begin_flush.
+            self._flush_event = None
+            self._release_event = None

@@ -1,0 +1,39 @@
+"""Hardware models for the simulated ParPar testbed.
+
+Every model is calibrated from numbers the paper itself reports:
+
+- 200 MHz Pentium-Pro hosts (:mod:`~repro.hardware.cpu`);
+- plain RAM copies ~45 MB/s, write-combining PIO writes ~80 MB/s and
+  reads ~14 MB/s (:mod:`~repro.hardware.memory`);
+- Myrinet 1.28 Gb/s links, LANai 4.3 NIC with 512 KB SRAM
+  (:mod:`~repro.hardware.link`, :mod:`~repro.hardware.nic`);
+- a source-routed fabric with per-pair FIFO ordering and a serial-loop
+  "broadcast" (:mod:`~repro.hardware.network`);
+- a 10 MB switched Ethernet control LAN (:mod:`~repro.hardware.ethernet`).
+"""
+
+from repro.hardware.cpu import CpuSpec, HostCPU
+from repro.hardware.dma import DmaEngine, DmaSpec
+from repro.hardware.ethernet import ControlNetwork, EthernetSpec
+from repro.hardware.link import LinkSpec
+from repro.hardware.memory import CopyRates, MemoryKind, MemoryModel
+from repro.hardware.network import MyrinetFabric
+from repro.hardware.nic import MyrinetNIC, NicSpec
+from repro.hardware.node import HostNode
+
+__all__ = [
+    "ControlNetwork",
+    "CopyRates",
+    "CpuSpec",
+    "DmaEngine",
+    "DmaSpec",
+    "EthernetSpec",
+    "HostCPU",
+    "HostNode",
+    "LinkSpec",
+    "MemoryKind",
+    "MemoryModel",
+    "MyrinetFabric",
+    "MyrinetNIC",
+    "NicSpec",
+]

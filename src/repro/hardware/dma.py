@@ -1,0 +1,58 @@
+"""DMA engine: LANai-initiated transfers into the pinned host buffer.
+
+When the LANai's receive context consumes a packet from the network it
+DMAs the payload into the destination process's receive queue in pinned
+host RAM (paper Section 2.2).  The engine models PCI-era throughput plus
+a fixed per-transfer setup cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.core import Simulator, Timeout
+from repro.units import MB, US
+
+
+@dataclass(frozen=True)
+class DmaSpec:
+    """Throughput and setup cost of the NIC's DMA engine."""
+
+    bandwidth: float = 132 * MB   # 32-bit/33 MHz PCI burst rate
+    setup_time: float = 1 * US    # descriptor programming per transfer
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ConfigError("DMA bandwidth must be positive")
+        if self.setup_time < 0:
+            raise ConfigError("DMA setup_time must be >= 0")
+
+
+class DmaEngine:
+    """One NIC's DMA engine; transfers are serialised FIFO."""
+
+    def __init__(self, sim: Simulator, spec: DmaSpec = DmaSpec()):
+        self.sim = sim
+        self.spec = spec
+        self.bytes_moved: int = 0
+        self.transfers: int = 0
+        self._free_at: float = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Duration of a single transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError(f"negative DMA size {nbytes}")
+        return self.spec.setup_time + nbytes / self.spec.bandwidth
+
+    def transfer(self, nbytes: int) -> Timeout:
+        """Start a transfer; the returned event fires at completion.
+
+        Back-to-back requests queue behind each other (single engine).
+        """
+        start = max(self.sim.now, self._free_at)
+        done = start + self.transfer_time(nbytes)
+        self._free_at = done
+        self.bytes_moved += nbytes
+        self.transfers += 1
+        return self.sim.timeout(done - self.sim.now)

@@ -1,0 +1,41 @@
+"""Myrinet link parameters.
+
+The fabric model (:mod:`repro.hardware.network`) reduces the switched
+Myrinet to three constants per packet: injection time at the source link,
+a fixed fall-through latency, and a reception constraint at the
+destination link.  1.28 Gb/s is the paper's stated data-network rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One Myrinet link / switch traversal."""
+
+    bandwidth: float = 160e6        # bytes/s: 1.28 Gb/s full duplex
+    propagation: float = 0.5 * US   # cable + cut-through fall-through
+    switch_latency: float = 0.3 * US  # per-switch routing decision
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        if self.propagation < 0 or self.switch_latency < 0:
+            raise ConfigError("link latencies must be >= 0")
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialisation time of ``nbytes`` on the link."""
+        if nbytes < 0:
+            raise ConfigError(f"negative packet size {nbytes}")
+        return nbytes / self.bandwidth
+
+    def latency(self, hops: int = 1) -> float:
+        """Fall-through latency across ``hops`` switches."""
+        if hops < 0:
+            raise ConfigError(f"negative hop count {hops}")
+        return self.propagation + hops * self.switch_latency

@@ -1,0 +1,101 @@
+"""The Myrinet fabric: source-routed, per-pair FIFO, no loss.
+
+Two properties of Myrinet matter to the paper's protocols and are the
+contract this model provides:
+
+1. **Per-pair FIFO**: FM uses a single precomputed route between each pair
+   of nodes and Myrinet preserves order along a route, so a halt message
+   broadcast after the last data packet arrives after it (Section 3.2).
+2. **No broadcast in hardware**: "the broadcast is implemented by a serial
+   loop" — the firmware sends p-1 unicasts; the fabric only ever moves
+   unicast packets.
+
+Contention is modelled at both endpoints: a card injects one packet at a
+time at link rate, and deliveries into one card are spaced at least a wire
+time apart (fan-in saturation), which is what fills receive queues during
+the all-to-all experiments (Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import RoutingError
+from repro.hardware.link import LinkSpec
+from repro.hardware.nic import MyrinetNIC
+from repro.sim.core import Event, Simulator
+
+
+class MyrinetFabric:
+    """Moves packets between registered NICs with realistic timing."""
+
+    def __init__(self, sim: Simulator, link: LinkSpec = LinkSpec(), hops: int = 1):
+        self.sim = sim
+        self.link = link
+        self.hops = hops
+        self._nics: dict[int, MyrinetNIC] = {}
+        self._rx_free_at: dict[int, float] = {}
+        self.packets_moved: int = 0
+        self.bytes_moved: int = 0
+        # Optional observer for tests/traces: fn(packet, depart, arrive).
+        self.observer: Optional[Callable] = None
+
+    # -- topology -----------------------------------------------------------
+    def register(self, nic: MyrinetNIC) -> None:
+        if nic.node_id in self._nics:
+            raise RoutingError(f"node {nic.node_id} already on the fabric")
+        self._nics[nic.node_id] = nic
+        self._rx_free_at[nic.node_id] = 0.0
+
+    def unregister(self, node_id: int) -> None:
+        """Remove a node (COMM_remove_node topology update)."""
+        if node_id not in self._nics:
+            raise RoutingError(f"node {node_id} not on the fabric")
+        del self._nics[node_id]
+        del self._rx_free_at[node_id]
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nics)
+
+    def nic(self, node_id: int) -> MyrinetNIC:
+        try:
+            return self._nics[node_id]
+        except KeyError:
+            raise RoutingError(f"node {node_id} not on the fabric") from None
+
+    # -- data movement ------------------------------------------------------
+    def injection_time(self, nbytes: int) -> float:
+        """How long the sending card is busy injecting one packet."""
+        return self.link.wire_time(nbytes)
+
+    def transmit(self, src: int, dst: int, packet) -> Event:
+        """Launch ``packet`` from src to dst; returns the *arrival* event.
+
+        The caller (the firmware send context) must already have spent the
+        injection time — this method handles the network part: fall-through
+        latency plus serialisation onto the destination link.  Per-pair
+        order is preserved because the source injects serially and the
+        destination port is FIFO.
+        """
+        if src == dst:
+            raise RoutingError(f"node {src} attempted to transmit to itself")
+        if src not in self._nics:
+            raise RoutingError(f"source node {src} not on the fabric")
+        dst_nic = self.nic(dst)
+
+        nbytes = packet.size_bytes
+        wire = self.link.wire_time(nbytes)
+        earliest = self.sim.now + self.link.latency(self.hops)
+        # Destination link busy until _rx_free_at: fan-in serialisation.
+        deliver_at = max(earliest, self._rx_free_at[dst]) + wire
+        self._rx_free_at[dst] = deliver_at
+
+        self.packets_moved += 1
+        self.bytes_moved += nbytes
+        if self.observer is not None:
+            self.observer(packet, self.sim.now, deliver_at)
+
+        arrival = self.sim.timeout(deliver_at - self.sim.now, value=packet)
+        arrival.add_callback(lambda _ev: dst_nic.deliver(packet))
+        return arrival

@@ -1,0 +1,108 @@
+"""The Myrinet network interface card.
+
+Models the LANai 4.3 card the paper uses: 512 KB of on-board SRAM (which
+the FM send queues and firmware state must fit into), a "halt bit" the
+node daemon sets to stop transmission on a packet boundary, and the
+attachment points for the DMA engine and the firmware control program.
+
+The firmware itself (the LANai control program) lives in
+:mod:`repro.fm.firmware`; the NIC object is the hardware it runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError, HardwareError
+from repro.hardware.dma import DmaEngine, DmaSpec
+from repro.sim.core import Simulator
+from repro.sim.primitives import Gate
+from repro.units import KiB, US
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Static parameters of the LANai 4.3 card."""
+
+    sram_bytes: int = 512 * KiB        # paper: "LANai 4.3 processor and 512 KB RAM"
+    firmware_reserved: int = 80 * KiB  # control program + routing tables + state
+    recv_process_time: float = 2.0 * US  # receive context: consume + classify a packet
+    send_pickup_time: float = 0.5 * US   # send context: dequeue + route lookup
+    interrupt_time: float = 1.0 * US     # switch to the receive context
+
+    def __post_init__(self):
+        if self.sram_bytes <= 0:
+            raise ConfigError("sram_bytes must be positive")
+        if not 0 <= self.firmware_reserved < self.sram_bytes:
+            raise ConfigError("firmware_reserved must fit in SRAM")
+        for f in ("recv_process_time", "send_pickup_time", "interrupt_time"):
+            if getattr(self, f) < 0:
+                raise ConfigError(f"{f} must be >= 0")
+
+
+class MyrinetNIC:
+    """One card: SRAM budget, halt bit, DMA engine, firmware attachment."""
+
+    def __init__(self, sim: Simulator, node_id: int, spec: NicSpec = NicSpec(),
+                 dma_spec: DmaSpec = DmaSpec()):
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.dma = DmaEngine(sim, dma_spec)
+        # Open gate = normal sending; the noded closes it to halt the
+        # network on a packet boundary (COMM_halt_network).
+        self.send_gate = Gate(sim, opened=True)
+        self._sram_allocations: dict[str, int] = {"firmware": spec.firmware_reserved}
+        self.firmware: Optional[object] = None  # set by fm.firmware.install()
+
+    # -- SRAM accounting ------------------------------------------------------
+    @property
+    def sram_free(self) -> int:
+        return self.spec.sram_bytes - sum(self._sram_allocations.values())
+
+    def allocate_sram(self, nbytes: int, tag: str) -> None:
+        """Reserve ``nbytes`` of card memory under ``tag``.
+
+        Raises :class:`HardwareError` on over-commit — FM's static send
+        queues must genuinely fit on the card.
+        """
+        if nbytes < 0:
+            raise ConfigError(f"negative SRAM allocation {nbytes}")
+        if tag in self._sram_allocations:
+            raise HardwareError(f"SRAM tag {tag!r} already allocated")
+        if nbytes > self.sram_free:
+            raise HardwareError(
+                f"NIC {self.node_id}: SRAM over-commit: need {nbytes}, free {self.sram_free}"
+            )
+        self._sram_allocations[tag] = nbytes
+
+    def free_sram(self, tag: str) -> None:
+        if tag == "firmware":
+            raise HardwareError("cannot free the firmware reservation")
+        if tag not in self._sram_allocations:
+            raise HardwareError(f"SRAM tag {tag!r} not allocated")
+        del self._sram_allocations[tag]
+
+    def sram_allocated(self, tag: str) -> int:
+        return self._sram_allocations.get(tag, 0)
+
+    # -- halt bit ---------------------------------------------------------------
+    def set_halt_bit(self) -> None:
+        """Stop the send context before its next packet."""
+        self.send_gate.close()
+
+    def clear_halt_bit(self) -> None:
+        """Allow the send context to transmit again."""
+        self.send_gate.open()
+
+    @property
+    def halted(self) -> bool:
+        return not self.send_gate.is_open
+
+    # -- packet ingress ------------------------------------------------------------
+    def deliver(self, packet) -> None:
+        """Called by the fabric when a packet arrives at this card."""
+        if self.firmware is None:
+            raise HardwareError(f"NIC {self.node_id}: packet arrived before firmware load")
+        self.firmware.on_packet_arrival(packet)

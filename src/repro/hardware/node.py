@@ -1,0 +1,41 @@
+"""A compute node: host CPU + Myrinet NIC + memory model.
+
+``HostNode`` is pure hardware; the software stack (FM contexts, daemons)
+attaches on top of it.  One ParPar cluster is 16 worker HostNodes plus a
+master host that has no Myrinet presence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cpu import CpuSpec, HostCPU
+from repro.hardware.dma import DmaSpec
+from repro.hardware.memory import MemoryModel
+from repro.hardware.nic import MyrinetNIC, NicSpec
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware configuration of one worker node."""
+
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+    dma: DmaSpec = field(default_factory=DmaSpec)
+
+
+class HostNode:
+    """One worker machine of the simulated cluster."""
+
+    def __init__(self, sim: Simulator, node_id: int, spec: NodeSpec = NodeSpec(),
+                 memory: MemoryModel | None = None):
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.cpu = HostCPU(sim, spec.cpu)
+        self.nic = MyrinetNIC(sim, node_id, spec.nic, spec.dma)
+        self.memory = memory if memory is not None else MemoryModel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HostNode {self.node_id}>"

@@ -1,0 +1,41 @@
+"""Valid-packet occupancy statistics (Figure 8).
+
+The buffer-switch stage samples how many valid packets sit in the
+outgoing context's send and receive queues; those samples already live in
+:class:`~repro.metrics.counters.SwitchRecord`.  This module provides the
+per-cluster-size summary the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Sequence
+
+from repro.metrics.counters import SwitchRecord
+
+
+@dataclass(frozen=True)
+class OccupancySummary:
+    """Mean/max occupancy over a set of switches."""
+
+    samples: int
+    mean_send: float
+    mean_recv: float
+    max_send: int
+    max_recv: int
+
+
+def summarize_occupancy(records: Sequence[SwitchRecord]) -> OccupancySummary:
+    """Aggregate Figure 8's quantity over switch records with a real
+    outgoing context."""
+    meaningful = [r for r in records if r.out_job is not None]
+    if not meaningful:
+        return OccupancySummary(0, 0.0, 0.0, 0, 0)
+    return OccupancySummary(
+        samples=len(meaningful),
+        mean_send=mean(r.out_send_valid for r in meaningful),
+        mean_recv=mean(r.out_recv_valid for r in meaningful),
+        max_send=max(r.out_send_valid for r in meaningful),
+        max_recv=max(r.out_recv_valid for r in meaningful),
+    )

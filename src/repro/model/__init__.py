@@ -1,0 +1,5 @@
+"""Closed-form performance models used to cross-check the simulator."""
+
+from repro.model.analytic import BandwidthPrediction, predict_p2p_bandwidth
+
+__all__ = ["BandwidthPrediction", "predict_p2p_bandwidth"]

@@ -1,0 +1,15 @@
+"""A minimal MPI-style layer over FM.
+
+The paper notes that applications typically sit above FM: "if the process
+uses a higher level communication system, such as MPI, it calls
+MPI_initialize, and MPI_initialize calls FM_initialize" (Section 3.2).
+This package provides that higher level — tagged point-to-point
+operations with MPI's unexpected-message semantics and a set of
+tree-based collectives — entirely on top of :class:`repro.fm.api.FMLibrary`,
+so MPI-shaped workloads can run under the gang scheduler and exercise the
+buffer-switching machinery exactly as real applications would have.
+"""
+
+from repro.mpi.communicator import ANY_SOURCE, ANY_TAG, Communicator
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator"]

@@ -1,0 +1,235 @@
+"""Tagged point-to-point and collectives over FM.
+
+Semantics follow MPI where it matters for correctness studies:
+
+- ``recv`` matches on (source, tag), either of which may be the ANY_*
+  wildcard; non-matching arrivals are buffered in an *unexpected-message
+  queue* and matched by later receives, preserving per-(source, tag)
+  order;
+- collectives are deterministic algorithms over point-to-point messages
+  (dissemination barrier, binomial-tree broadcast/reduce), each using a
+  reserved tag space so they never interfere with application traffic;
+- payloads are opaque Python objects riding the simulated bytes —
+  ``reduce`` applies a user-supplied operator to them, defaulting to
+  ``operator.add``.
+
+All operations are generators to be driven with ``yield from`` inside a
+simulated process, like the FM calls they wrap.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigError
+from repro.fm.api import FMLibrary, Message
+from repro.fm.harness import Endpoint
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Tags at or above this value are reserved for collective internals.
+_COLLECTIVE_TAG_BASE = 1 << 20
+
+
+class Communicator:
+    """MPI-flavoured operations for one rank of one job."""
+
+    def __init__(self, endpoint: Endpoint):
+        self.endpoint = endpoint
+        self.library: FMLibrary = endpoint.library
+        self._unexpected: list[Message] = []
+        self._collective_seq = 0
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def rank(self) -> int:
+        return self.endpoint.rank
+
+    @property
+    def size(self) -> int:
+        return self.endpoint.context.num_procs
+
+    # ------------------------------------------------------------------ point-to-point
+    def send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
+        """Blocking tagged send (a generator)."""
+        if not 0 <= tag < _COLLECTIVE_TAG_BASE:
+            raise ConfigError(f"application tags must be in [0, {_COLLECTIVE_TAG_BASE})")
+        yield from self._send_raw(dst, nbytes, tag, payload)
+
+    def _send_raw(self, dst: int, nbytes: int, tag: int, payload: Any):
+        yield from self.library.send(dst, nbytes, tag=tag, payload=payload)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking tagged receive (a generator returning a Message).
+
+        Checks the unexpected queue first, then extracts from FM until a
+        matching message arrives; everything else is buffered.
+        """
+        matched = self._match(source, tag)
+        if matched is not None:
+            return matched
+        while True:
+            msg = yield from self.library.extract()
+            if msg is None:
+                continue
+            if self._matches(msg, source, tag):
+                return msg
+            self._unexpected.append(msg)
+
+    def _matches(self, msg: Message, source: int, tag: int) -> bool:
+        return ((source == ANY_SOURCE or msg.src_rank == source)
+                and (tag == ANY_TAG or msg.tag == tag))
+
+    def _match(self, source: int, tag: int) -> Optional[Message]:
+        for i, msg in enumerate(self._unexpected):
+            if self._matches(msg, source, tag):
+                return self._unexpected.pop(i)
+        return None
+
+    @property
+    def unexpected_messages(self) -> int:
+        return len(self._unexpected)
+
+    def sendrecv(self, dst: int, src: int, nbytes: int, tag: int = 0,
+                 payload: Any = None):
+        """Combined send+receive (deadlock-free for exchange patterns)."""
+        yield from self.send(dst, nbytes, tag, payload)
+        msg = yield from self.recv(src, tag)
+        return msg
+
+    # ------------------------------------------------------------------ collectives
+    def _ctag(self, op_index: int) -> int:
+        """A fresh tag for one collective invocation's messages."""
+        return _COLLECTIVE_TAG_BASE + self._collective_seq * 8 + op_index
+
+    def _advance(self) -> None:
+        self._collective_seq += 1
+
+    def barrier(self):
+        """Dissemination barrier: ceil(log2 p) rounds of exchanges.
+
+        No rank returns before every rank has entered.
+        """
+        p = self.size
+        if p == 1:
+            self._advance()
+            return
+        tag = self._ctag(0)
+        distance = 1
+        while distance < p:
+            dst = (self.rank + distance) % p
+            src = (self.rank - distance) % p
+            yield from self._send_raw(dst, 1, tag + 0, None)
+            yield from self.recv(src, tag + 0)
+            distance *= 2
+        self._advance()
+
+    def bcast(self, value: Any, root: int, nbytes: int = 64):
+        """Binomial-tree broadcast; returns the root's value everywhere."""
+        p = self.size
+        self._check_root(root)
+        tag = self._ctag(1)
+        vrank = (self.rank - root) % p  # virtual rank with root at 0
+        if vrank != 0:
+            # Receive from the parent in the binomial tree.
+            mask = 1
+            while not vrank & mask:
+                mask <<= 1
+            parent = ((vrank & ~mask) + root) % p
+            msg = yield from self.recv(parent, tag)
+            value = msg.payload
+            start_mask = mask >> 1
+        else:
+            start_mask = (1 << ((p - 1).bit_length() - 1)) if p > 1 else 0
+        # Forward to children: descending masks below our receive mask.
+        mask = start_mask
+        while mask:
+            child_v = vrank | mask
+            if child_v < p and child_v != vrank:
+                child = (child_v + root) % p
+                yield from self._send_raw(child, nbytes, tag, value)
+            mask >>= 1
+        self._advance()
+        return value
+
+    def reduce(self, value: Any, root: int, nbytes: int = 64,
+               op: Callable[[Any, Any], Any] = operator.add):
+        """Binomial-tree reduction toward ``root``; root gets the result."""
+        p = self.size
+        self._check_root(root)
+        tag = self._ctag(2)
+        vrank = (self.rank - root) % p
+        acc = value
+        mask = 1
+        while mask < p:
+            if vrank & mask:
+                parent = ((vrank & ~mask) + root) % p
+                yield from self._send_raw(parent, nbytes, tag, acc)
+                break
+            child_v = vrank | mask
+            if child_v < p:
+                child = (child_v + root) % p
+                msg = yield from self.recv(child, tag)
+                acc = op(acc, msg.payload)
+            mask <<= 1
+        self._advance()
+        return acc if self.rank == root else None
+
+    def allreduce(self, value: Any, nbytes: int = 64,
+                  op: Callable[[Any, Any], Any] = operator.add):
+        """reduce to rank 0 + bcast (keeps collective tags aligned)."""
+        reduced = yield from self.reduce(value, root=0, nbytes=nbytes, op=op)
+        result = yield from self.bcast(reduced, root=0, nbytes=nbytes)
+        return result
+
+    def gather(self, value: Any, root: int, nbytes: int = 64):
+        """Everyone's value at the root, indexed by rank."""
+        self._check_root(root)
+        tag = self._ctag(3)
+        if self.rank == root:
+            values: dict[int, Any] = {root: value}
+            for _ in range(self.size - 1):
+                msg = yield from self.recv(ANY_SOURCE, tag)
+                values[msg.src_rank] = msg.payload
+            self._advance()
+            return [values[r] for r in range(self.size)]
+        yield from self._send_raw(root, nbytes, tag, value)
+        self._advance()
+        return None
+
+    def scatter(self, values: Optional[list], root: int, nbytes: int = 64):
+        """Root distributes values[r] to each rank r."""
+        self._check_root(root)
+        tag = self._ctag(4)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ConfigError("scatter root needs one value per rank")
+            for r in range(self.size):
+                if r != root:
+                    yield from self._send_raw(r, nbytes, tag, values[r])
+            self._advance()
+            return values[root]
+        msg = yield from self.recv(root, tag)
+        self._advance()
+        return msg.payload
+
+    def alltoall(self, values: list, nbytes: int = 64):
+        """values[r] goes to rank r; returns the incoming list by rank."""
+        if len(values) != self.size:
+            raise ConfigError("alltoall needs one value per rank")
+        tag = self._ctag(5)
+        incoming: dict[int, Any] = {self.rank: values[self.rank]}
+        for offset in range(1, self.size):
+            dst = (self.rank + offset) % self.size
+            src = (self.rank - offset) % self.size
+            yield from self._send_raw(dst, nbytes, tag, values[dst])
+            msg = yield from self.recv(src, tag)
+            incoming[src] = msg.payload
+        self._advance()
+        return [incoming[r] for r in range(self.size)]
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ConfigError(f"root {root} out of range for {self.size} ranks")

@@ -1,0 +1,23 @@
+"""The ParPar cluster system (paper Section 2.1).
+
+A software MPP: a master daemon (**masterd**) on the cluster host owns a
+gang-scheduling matrix of 16 columns (nodes) by n rows (time slots) and
+rotates slots round-robin; a node daemon (**noded**) on every worker
+manages process loading, SIGSTOP/SIGCONT, and drives glueFM's three-stage
+context switch; a job representative (**jobrep**) negotiates submissions.
+Placement into the matrix follows the DHC buddy scheme.
+"""
+
+from repro.parpar.cluster import ClusterConfig, ParParCluster
+from repro.parpar.dhc import DHCAllocator
+from repro.parpar.job import JobSpec, ParallelJob
+from repro.parpar.matrix import GangMatrix
+
+__all__ = [
+    "ClusterConfig",
+    "DHCAllocator",
+    "GangMatrix",
+    "JobSpec",
+    "ParallelJob",
+    "ParParCluster",
+]

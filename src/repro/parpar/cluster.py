@@ -1,0 +1,174 @@
+"""Cluster assembly: the whole simulated ParPar system in one object.
+
+``ParParCluster`` wires the hardware (nodes, Myrinet fabric, control
+Ethernet), the per-node software (glueFM, noded), and the global daemons
+(masterd, jobrep) according to a :class:`ClusterConfig`, and offers a
+small synchronous driver API for experiments:
+
+    cluster = ParParCluster(ClusterConfig(num_nodes=4, time_slots=2))
+    job = cluster.submit(JobSpec("bw", 2, workload))
+    cluster.run_until_finished([job])
+
+Two operating modes reproduce the paper's comparison axis:
+
+- ``buffer_switching=True`` (the paper's system): FullBuffer contexts,
+  three-stage switches at every quantum;
+- ``buffer_switching=False`` (the original-FM baseline): statically
+  partitioned contexts resident on the NIC, gang switches are pure
+  SIGSTOP/SIGCONT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError, SimulationError
+from repro.fm.buffers import BufferPolicy, FullBuffer, StaticPartition
+from repro.fm.config import FMConfig
+from repro.gluefm.api import GlueFM
+from repro.gluefm.switch import SwitchAlgorithm, ValidOnlyCopy
+from repro.hardware.ethernet import ControlNetwork, EthernetSpec
+from repro.hardware.link import LinkSpec
+from repro.hardware.network import MyrinetFabric
+from repro.hardware.node import HostNode, NodeSpec
+from repro.metrics.counters import SwitchRecorder
+from repro.parpar.job import JobSpec, ParallelJob
+from repro.parpar.jobrep import JobRepresentative
+from repro.parpar.masterd import MasterDaemon
+from repro.parpar.noded import NodeDaemon
+from repro.sim.core import Simulator
+from repro.sim.rand import RandomStreams
+from repro.sim.trace import NullTracer, Tracer
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up a simulated ParPar cluster."""
+
+    num_nodes: int = 16
+    time_slots: int = 4
+    quantum: float = 0.020      # scaled; the paper used 1-3 s (see DESIGN.md)
+    buffer_switching: bool = True
+    switch_algorithm: Optional[SwitchAlgorithm] = None  # default ValidOnlyCopy
+    fm: Optional[FMConfig] = None   # default derived from nodes/slots
+    node_spec: NodeSpec = field(default_factory=NodeSpec)
+    link: LinkSpec = field(default_factory=LinkSpec)
+    ethernet: EthernetSpec = field(default_factory=EthernetSpec)
+    strict_no_loss: bool = True
+    seed: int = 0
+    trace: bool = False
+    #: Alternative node-daemon class (ablations, e.g. SHARE-style
+    #: unflushed switching); must subclass NodeDaemon.
+    noded_class: Optional[type] = None
+
+    def __post_init__(self):
+        if self.num_nodes <= 0 or self.time_slots <= 0:
+            raise ConfigError("num_nodes and time_slots must be positive")
+        if self.quantum <= 0:
+            raise ConfigError("quantum must be positive")
+
+    def resolved_fm(self) -> FMConfig:
+        """The FM configuration, with n and p tied to the cluster shape."""
+        if self.fm is not None:
+            return self.fm
+        return FMConfig(max_contexts=self.time_slots,
+                        num_processors=self.num_nodes)
+
+    def resolved_policy(self) -> BufferPolicy:
+        return FullBuffer() if self.buffer_switching else StaticPartition()
+
+    def resolved_switch(self) -> SwitchAlgorithm:
+        return (self.switch_algorithm if self.switch_algorithm is not None
+                else ValidOnlyCopy())
+
+    def with_overrides(self, **kwargs) -> "ClusterConfig":
+        return replace(self, **kwargs)
+
+
+class ParParCluster:
+    """A fully assembled, running cluster simulation."""
+
+    def __init__(self, config: ClusterConfig = ClusterConfig(),
+                 sim: Optional[Simulator] = None):
+        self.config = config
+        self.sim = sim if sim is not None else Simulator()
+        self.fm_config = config.resolved_fm()
+        self.policy = config.resolved_policy()
+        self.tracer = (Tracer(clock=lambda: self.sim.now) if config.trace
+                       else NullTracer())
+        self.rng = RandomStreams(config.seed)
+        self.recorder = SwitchRecorder()
+
+        self.fabric = MyrinetFabric(self.sim, config.link)
+        self.control_net = ControlNetwork(self.sim, config.ethernet, rng=self.rng)
+        self.nodes: list[HostNode] = []
+        self.glue: list[GlueFM] = []
+        self.nodeds: list[NodeDaemon] = []
+
+        noded_class = config.noded_class if config.noded_class is not None else NodeDaemon
+        participants = list(range(config.num_nodes))
+        for node_id in participants:
+            node = HostNode(self.sim, node_id, config.node_spec)
+            self.nodes.append(node)
+            self.fabric.register(node.nic)
+            glue = GlueFM(self.sim, node, self.fabric, self.fm_config,
+                          switch_algorithm=config.resolved_switch(),
+                          tracer=self.tracer,
+                          strict_no_loss=config.strict_no_loss)
+            glue.COMM_init_node(participants)
+            self.glue.append(glue)
+            self.nodeds.append(noded_class(
+                self.sim, node, glue, self.control_net, MasterDaemon.ENDPOINT,
+                policy=self.policy, recorder=self.recorder,
+                resident_mode=not config.buffer_switching,
+            ))
+
+        self.masterd = MasterDaemon(self.sim, self.control_net,
+                                    num_nodes=config.num_nodes,
+                                    num_slots=config.time_slots,
+                                    quantum=config.quantum)
+        self.jobrep = JobRepresentative(self.sim, self.control_net)
+
+    # ------------------------------------------------------------------ driving
+    def submit(self, spec: JobSpec, max_events: int = 10_000_000) -> ParallelJob:
+        """Submit and run the simulation until the job is loaded and synced."""
+        result = {}
+
+        def submitter():
+            result["job"] = yield from self.jobrep.submit(spec)
+
+        proc = self.sim.process(submitter(), name=f"jobrep-{spec.name}")
+        self.sim.run_until_processed(proc, max_events=max_events)
+        return result["job"]
+
+    def run_until_finished(self, jobs: Sequence[ParallelJob],
+                           max_events: int = 200_000_000) -> None:
+        """Advance the simulation until every listed job is retired."""
+        remaining = max_events
+        for job in jobs:
+            event = self.masterd.done_event(job.job_id)
+            while not event.processed:
+                if not self.sim._queue:
+                    raise SimulationError("cluster went idle before jobs finished")
+                if remaining <= 0:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                self.sim.step()
+                remaining -= 1
+
+    def run_for(self, seconds: float, max_events: int = 200_000_000) -> None:
+        """Advance the simulation by ``seconds`` of simulated time."""
+        self.sim.run(until=self.sim.now + seconds, max_events=max_events)
+
+    # ------------------------------------------------------------------ inspection
+    def endpoint_of(self, job: ParallelJob, rank: int):
+        """The Endpoint of ``rank`` (available after FM_initialize ran)."""
+        node_id = job.rank_to_node[rank]
+        return self.nodeds[node_id].local_job(job.job_id).endpoint
+
+    def total_dropped(self) -> int:
+        return sum(len(g.firmware.dropped_packets) for g in self.glue)
+
+    @property
+    def matrix(self):
+        return self.masterd.matrix

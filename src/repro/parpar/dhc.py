@@ -1,0 +1,78 @@
+"""DHC-style placement into the gang matrix.
+
+ParPar maps applications into the matrix "based on the DHC scheme"
+[Feitelson & Rudolph 1990] — Distributed Hierarchical Control organises
+the processors as a buddy hierarchy and allocates each job a (power-of-
+two-sized) block of the tree, so jobs sharing a slot occupy disjoint,
+aligned sub-trees.  We implement the allocation geometry of DHC:
+
+- a job of size s is rounded up to the enclosing buddy size 2^ceil(log2 s);
+- candidate positions are the aligned blocks of that size;
+- slots are scanned in order, and within a slot the leftmost free block
+  is taken; a new slot is opened only when no existing slot fits
+  (packing before spreading, which is what keeps the matrix dense).
+
+The controller hierarchy's *distributed* aspects (per-level controllers,
+load balancing between subtrees) are beyond what the paper exercises and
+are not modelled; only the resulting placement discipline matters here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError, SchedulingError
+from repro.parpar.matrix import GangMatrix
+
+
+def buddy_size(size: int) -> int:
+    """The enclosing power-of-two block size for a job of ``size``."""
+    if size <= 0:
+        raise SchedulingError(f"job size must be positive, got {size}")
+    block = 1
+    while block < size:
+        block *= 2
+    return block
+
+
+class DHCAllocator:
+    """Buddy placement over a :class:`GangMatrix`."""
+
+    def __init__(self, matrix: GangMatrix):
+        self.matrix = matrix
+
+    def find(self, size: int) -> tuple[int, list[int]]:
+        """A (slot, nodes) placement for a job of ``size`` processes.
+
+        Raises :class:`AllocationError` when no slot can hold the job.
+        """
+        if size > self.matrix.num_nodes:
+            raise AllocationError(
+                f"job of {size} processes exceeds the {self.matrix.num_nodes}-node cluster"
+            )
+        block = buddy_size(size)
+        # Non-power-of-two machines have an incomplete buddy tree whose
+        # root is the whole machine; a job larger than the biggest full
+        # buddy block simply takes the root.
+        if block > self.matrix.num_nodes:
+            block = self.matrix.num_nodes
+        for slot in range(self.matrix.num_slots):
+            nodes = self._fit_in_slot(slot, size, block)
+            if nodes is not None:
+                return slot, nodes
+        raise AllocationError(
+            f"no free buddy block of {block} nodes in any of "
+            f"{self.matrix.num_slots} slots"
+        )
+
+    def allocate(self, job_id: int, size: int) -> tuple[int, list[int]]:
+        """find() + place(): the masterd's allocation step."""
+        slot, nodes = self.find(size)
+        self.matrix.place(job_id, slot, nodes)
+        return slot, nodes
+
+    def _fit_in_slot(self, slot: int, size: int, block: int):
+        free = set(self.matrix.free_nodes_in_slot(slot))
+        for base in range(0, self.matrix.num_nodes - block + 1, block):
+            cells = range(base, base + block)
+            if all(n in free for n in cells):
+                return list(cells)[:size]
+        return None

@@ -1,0 +1,48 @@
+"""The job representative.
+
+"When a user wishes to run a parallel application he contacts the masterd
+using a third program called the job representative, jobrep, which
+negotiates the loading of the applications with the masterd."
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.hardware.ethernet import ControlNetwork
+from repro.parpar.job import JobSpec, ParallelJob
+from repro.parpar.masterd import MasterDaemon
+from repro.sim.core import Event, Simulator
+
+
+class JobRepresentative:
+    """Submission client: one per cluster is enough for the simulation."""
+
+    ENDPOINT = 998
+
+    def __init__(self, sim: Simulator, control_net: ControlNetwork):
+        self.sim = sim
+        self.control_net = control_net
+        control_net.register(self.ENDPOINT, self._on_message)
+
+    def _on_message(self, src: int, message) -> None:
+        if message[0] != "submit-reply":
+            raise SchedulingError(f"jobrep: unknown message {message!r}")
+        _, reply, payload = message
+        if isinstance(payload, Exception):
+            reply.fail(payload)
+        else:
+            reply.succeed(payload)
+
+    def submit(self, spec: JobSpec):
+        """Negotiate loading with the masterd (a generator).
+
+        Returns the :class:`ParallelJob` once every process is forked and
+        the global sync point has been given; raises
+        :class:`~repro.errors.AllocationError` if the matrix cannot hold
+        the job.
+        """
+        reply = Event(self.sim)
+        self.control_net.send(self.ENDPOINT, MasterDaemon.ENDPOINT,
+                              ("submit", spec, reply, self.ENDPOINT))
+        job: ParallelJob = yield reply
+        return job

@@ -1,0 +1,216 @@
+"""The master daemon.
+
+The masterd runs on the cluster host (which "is not used by the user
+applications"): it owns the gang matrix, allocates nodes for submitted
+jobs (DHC placement), coordinates the Figure-2 loading protocol, rotates
+time slots round-robin, and retires finished jobs.
+
+All global operations — load a job, switch slots, end a job — are
+serialised through one operation queue: the real masterd is a
+single-threaded daemon, and this serialisation is also what guarantees a
+slot switch never races a job load (the noded's install-now decision
+depends on a stable notion of the active slot).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import AllocationError, SchedulingError
+from repro.hardware.ethernet import ControlNetwork
+from repro.parpar.dhc import DHCAllocator
+from repro.parpar.job import JobSpec, JobState, ParallelJob
+from repro.parpar.matrix import GangMatrix
+from repro.sim.core import Event, Simulator
+from repro.sim.primitives import Store
+
+
+class MasterDaemon:
+    """masterd: matrix owner and global coordinator."""
+
+    ENDPOINT = 999
+
+    def __init__(self, sim: Simulator, control_net: ControlNetwork,
+                 num_nodes: int, num_slots: int, quantum: float):
+        if quantum <= 0:
+            raise SchedulingError(f"quantum must be positive, got {quantum}")
+        self.sim = sim
+        self.control_net = control_net
+        self.quantum = quantum
+        self.matrix = GangMatrix(num_nodes, num_slots)
+        self.allocator = DHCAllocator(self.matrix)
+        self.worker_ids = list(range(num_nodes))
+        self.active_slot = 0
+        self.jobs: dict[int, ParallelJob] = {}
+        self.switches_completed = 0
+
+        self._job_ids = itertools.count(1)
+        self._ops: Store = Store(sim)
+        self._rotation_paused = False
+        self._switch_queued = False
+        self._switch_seq = 0
+        self._switch_acks: set[int] = set()
+        self._switch_event: Optional[Event] = None
+        self._loaded_events: dict[int, Event] = {}
+        self._end_acks: dict[int, set[int]] = {}
+        self._end_events: dict[int, Event] = {}
+        self._done_events: dict[int, Event] = {}
+
+        control_net.register(self.ENDPOINT, self._on_message)
+        self._main_proc = sim.process(self._main(), name="masterd")
+        self._timer_proc = sim.process(self._quantum_timer(), name="masterd-quantum")
+
+    # ------------------------------------------------------------------ dispatch
+    def _on_message(self, src: int, message) -> None:
+        kind = message[0]
+        if kind == "submit":
+            _, spec, reply, reply_endpoint = message
+            self._ops.put(("load", spec, reply, reply_endpoint))
+        elif kind == "loaded":
+            self._on_loaded(message[1], src)
+        elif kind == "switch-done":
+            self._on_switch_done(message[1], src)
+        elif kind == "job-finished":
+            self._on_job_finished(message[1], src, message[3], message[4])
+        elif kind == "ended":
+            self._on_ended(message[1], src)
+        else:
+            raise SchedulingError(f"masterd: unknown message {message!r}")
+
+    # ------------------------------------------------------------------ main loop
+    def _main(self):
+        while True:
+            op = yield self._ops.get()
+            if op[0] == "load":
+                yield from self._do_load(op[1], op[2], op[3])
+            elif op[0] == "switch":
+                yield from self._do_switch()
+            elif op[0] == "end":
+                yield from self._do_end(op[1])
+            else:  # pragma: no cover - defensive
+                raise SchedulingError(f"masterd: unknown op {op!r}")
+
+    def _quantum_timer(self):
+        while True:
+            yield self.sim.timeout(self.quantum)
+            if self._rotation_paused:
+                continue
+            if not self._switch_queued:
+                self._switch_queued = True
+                self._ops.put(("switch",))
+
+    def pause_rotation(self) -> None:
+        """Stop initiating slot switches (drain/maintenance mode).
+
+        Switches already queued or in flight still complete; the timer
+        simply stops arming new ones until :meth:`resume_rotation`.
+        """
+        self._rotation_paused = True
+
+    def resume_rotation(self) -> None:
+        self._rotation_paused = False
+
+    # ------------------------------------------------------------------ loading
+    def _do_load(self, spec: JobSpec, reply: Event, reply_endpoint: int):
+        try:
+            job_id = next(self._job_ids)
+            slot, nodes = self.allocator.allocate(job_id, spec.num_procs)
+        except AllocationError as err:
+            self.control_net.send(self.ENDPOINT, reply_endpoint,
+                                  ("submit-reply", reply, err))
+            return
+        job = ParallelJob(job_id=job_id, spec=spec, slot=slot,
+                          node_ids=tuple(nodes), state=JobState.LOADING,
+                          submitted_at=self.sim.now)
+        self.jobs[job_id] = job
+        self._loaded_events[job_id] = Event(self.sim)
+        self._done_events[job_id] = Event(self.sim)
+        rank_to_node = job.rank_to_node
+        for rank, node in enumerate(nodes):
+            self.control_net.send(self.ENDPOINT, node,
+                                  ("load-job", job_id, slot, rank, rank_to_node,
+                                   spec.workload))
+        # Wait for every noded to report the fork succeeded...
+        yield self._loaded_events[job_id]
+        # ...then give the global synchronisation point (Figure 2).
+        self.control_net.multicast(self.ENDPOINT, nodes, ("job-sync", job_id))
+        job.state = JobState.READY
+        job.ready_at = self.sim.now
+        self.control_net.send(self.ENDPOINT, reply_endpoint,
+                              ("submit-reply", reply, job))
+
+    def _on_loaded(self, job_id: int, node_id: int) -> None:
+        job = self.jobs[job_id]
+        job.loaded_nodes.add(node_id)
+        if job.all_loaded:
+            self._loaded_events[job_id].succeed()
+
+    # ------------------------------------------------------------------ switching
+    def _next_slot(self) -> Optional[int]:
+        """Round-robin over occupied slots; None if no switch is needed."""
+        occupied = self.matrix.occupied_slots
+        if not occupied:
+            return None
+        after = [s for s in occupied if s > self.active_slot]
+        nxt = after[0] if after else occupied[0]
+        return None if nxt == self.active_slot else nxt
+
+    def _do_switch(self):
+        self._switch_queued = False
+        nxt = self._next_slot()
+        if nxt is None:
+            return
+        self._switch_seq += 1
+        self._switch_acks = set()
+        self._switch_event = Event(self.sim)
+        self.control_net.multicast(self.ENDPOINT, self.worker_ids,
+                                   ("switch-slot", self._switch_seq,
+                                    self.active_slot, nxt))
+        yield self._switch_event
+        self.active_slot = nxt
+        self.switches_completed += 1
+
+    def _on_switch_done(self, sequence: int, node_id: int) -> None:
+        if sequence != self._switch_seq:
+            raise SchedulingError(
+                f"masterd: stale switch-done seq {sequence} from node {node_id}"
+            )
+        self._switch_acks.add(node_id)
+        if len(self._switch_acks) == len(self.worker_ids):
+            self._switch_event.succeed()
+
+    # ------------------------------------------------------------------ retirement
+    def _on_job_finished(self, job_id: int, node_id: int, rank: int, result) -> None:
+        job = self.jobs[job_id]
+        job.finished_nodes.add(node_id)
+        job.results[rank] = result
+        if job.all_finished:
+            self._ops.put(("end", job_id))
+
+    def _do_end(self, job_id: int):
+        job = self.jobs[job_id]
+        self.matrix.remove(job_id)
+        self._end_acks[job_id] = set()
+        self._end_events[job_id] = Event(self.sim)
+        for node in job.node_ids:
+            self.control_net.send(self.ENDPOINT, node, ("end-job", job_id))
+        yield self._end_events[job_id]
+        job.state = JobState.FINISHED
+        job.finished_at = self.sim.now
+        self._done_events[job_id].succeed(job)
+        # If the active slot just emptied, the next quantum rotates away.
+
+    def _on_ended(self, job_id: int, node_id: int) -> None:
+        acks = self._end_acks[job_id]
+        acks.add(node_id)
+        if acks == set(self.jobs[job_id].node_ids):
+            self._end_events[job_id].succeed()
+
+    # ------------------------------------------------------------------ waiting
+    def done_event(self, job_id: int) -> Event:
+        """Event that fires when the job is fully retired."""
+        try:
+            return self._done_events[job_id]
+        except KeyError:
+            raise SchedulingError(f"masterd: unknown job {job_id}") from None

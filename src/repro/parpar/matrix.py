@@ -1,0 +1,110 @@
+"""The gang-scheduling matrix.
+
+"Allocation is based on a gang scheduling matrix with 16 columns
+(representing the 16 nodes) and n rows, where n is the number of time
+slots required.  Each cell in the matrix represents a process of a
+specific parallel application associated with a physical node.  This way
+several parallel applications can run in the same slot, as long as the
+sum of nodes they require does not exceed the total number of nodes."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import AllocationError, SchedulingError
+
+
+class GangMatrix:
+    """slots x nodes grid of job IDs (None = idle cell)."""
+
+    def __init__(self, num_nodes: int, num_slots: int):
+        if num_nodes <= 0 or num_slots <= 0:
+            raise SchedulingError("matrix dimensions must be positive")
+        self.num_nodes = num_nodes
+        self.num_slots = num_slots
+        self._grid: list[list[Optional[int]]] = [
+            [None] * num_nodes for _ in range(num_slots)
+        ]
+        self._placements: dict[int, tuple[int, tuple[int, ...]]] = {}  # job -> (slot, nodes)
+
+    # ------------------------------------------------------------------ queries
+    def job_at(self, slot: int, node: int) -> Optional[int]:
+        self._check(slot, node)
+        return self._grid[slot][node]
+
+    def placement_of(self, job_id: int) -> tuple[int, tuple[int, ...]]:
+        try:
+            return self._placements[job_id]
+        except KeyError:
+            raise SchedulingError(f"job {job_id} not in the matrix") from None
+
+    def jobs_in_slot(self, slot: int) -> dict[int, list[int]]:
+        """job_id -> node list for every job in ``slot``."""
+        self._check(slot, 0)
+        out: dict[int, list[int]] = {}
+        for node, job in enumerate(self._grid[slot]):
+            if job is not None:
+                out.setdefault(job, []).append(node)
+        return out
+
+    def free_nodes_in_slot(self, slot: int) -> list[int]:
+        self._check(slot, 0)
+        return [n for n, job in enumerate(self._grid[slot]) if job is None]
+
+    @property
+    def jobs(self) -> list[int]:
+        return sorted(self._placements)
+
+    @property
+    def occupied_slots(self) -> list[int]:
+        return [s for s in range(self.num_slots) if any(self._grid[s])]
+
+    def utilization(self) -> float:
+        """Fraction of matrix cells occupied."""
+        used = sum(1 for row in self._grid for cell in row if cell is not None)
+        return used / (self.num_nodes * self.num_slots)
+
+    # ------------------------------------------------------------------ mutation
+    def place(self, job_id: int, slot: int, nodes: Iterable[int]) -> None:
+        nodes = tuple(sorted(nodes))
+        if not nodes:
+            raise AllocationError(f"job {job_id}: empty node set")
+        if job_id in self._placements:
+            raise AllocationError(f"job {job_id} already placed")
+        for node in nodes:
+            self._check(slot, node)
+            if self._grid[slot][node] is not None:
+                raise AllocationError(
+                    f"cell (slot {slot}, node {node}) already holds job "
+                    f"{self._grid[slot][node]}"
+                )
+        for node in nodes:
+            self._grid[slot][node] = job_id
+        self._placements[job_id] = (slot, nodes)
+
+    def remove(self, job_id: int) -> tuple[int, tuple[int, ...]]:
+        slot, nodes = self.placement_of(job_id)
+        for node in nodes:
+            self._grid[slot][node] = None
+        del self._placements[job_id]
+        return slot, nodes
+
+    def _check(self, slot: int, node: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise SchedulingError(f"slot {slot} out of range [0, {self.num_slots})")
+        if not 0 <= node < self.num_nodes:
+            raise SchedulingError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def render(self) -> str:
+        """ASCII view of the matrix for logs and examples."""
+        width = max(3, max((len(str(j)) for j in self._placements), default=1) + 1)
+        lines = []
+        header = "slot" + "".join(f"{n:>{width}}" for n in range(self.num_nodes))
+        lines.append(header)
+        for s, row in enumerate(self._grid):
+            cells = "".join(
+                f"{'.' if j is None else j:>{width}}" for j in row
+            )
+            lines.append(f"{s:>4}{cells}")
+        return "\n".join(lines)

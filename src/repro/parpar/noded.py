@@ -1,0 +1,210 @@
+"""The node daemon.
+
+One noded runs on every worker node.  It fields masterd messages from the
+control network and performs the node-local halves of the protocols:
+
+- **job loading** (paper Figure 2): call ``COMM_init_job`` *before*
+  forking (so early packets can already be received), fork the
+  application process with the FM_* environment, notify the masterd, and
+  deliver the global-sync "pipe byte" when the masterd says everyone is
+  up; the process's modified ``FM_initialize`` completes only then.
+- **context switching**: on a slot-switch notification, SIGSTOP the
+  outgoing process, run glueFM's three stages (halt / buffer switch /
+  release), SIGCONT the incoming process, and report per-stage timings —
+  these records are the raw data of Figures 7, 8 and 9.
+- **job teardown**: ``COMM_end_job`` when the masterd retires a job.
+
+In ``resident`` mode (the original-FM baseline) contexts stay installed
+on the NIC permanently — the static partitioning makes them all fit — and
+a slot switch is just SIGSTOP/SIGCONT with no network flush or copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SchedulingError
+from repro.fm.api import FMLibrary
+from repro.fm.buffers import BufferPolicy
+from repro.fm.context import FMContext
+from repro.fm.harness import Endpoint
+from repro.gluefm.api import GlueFM
+from repro.gluefm.env import parse_environment
+from repro.hardware.ethernet import ControlNetwork
+from repro.hardware.node import HostNode
+from repro.metrics.counters import SwitchRecord, SwitchRecorder
+from repro.parpar.job import Workload
+from repro.sim.core import Event, Simulator
+from repro.sim.process import Process
+from repro.units import US
+
+
+@dataclass
+class _LocalJob:
+    """The noded's record of one process it hosts."""
+
+    job_id: int
+    slot: int
+    rank: int
+    context: FMContext
+    workload: Workload
+    sync_event: Event
+    process: Optional[Process] = None
+    endpoint: Optional[Endpoint] = None
+    result: Any = None
+    finished: bool = field(default=False)
+
+
+class NodeDaemon:
+    """noded for one worker node."""
+
+    FORK_TIME = 400 * US       # fork + exec + environment setup
+    FM_INIT_TIME = 80 * US     # open the LANai, map the queues
+    SIGNAL_TIME = 5 * US       # SIGSTOP/SIGCONT delivery
+
+    def __init__(self, sim: Simulator, node: HostNode, glue: GlueFM,
+                 control_net: ControlNetwork, master_endpoint: int,
+                 policy: BufferPolicy, recorder: SwitchRecorder,
+                 resident_mode: bool = False):
+        self.sim = sim
+        self.node = node
+        self.glue = glue
+        self.control_net = control_net
+        self.master_endpoint = master_endpoint
+        self.policy = policy
+        self.recorder = recorder
+        self.resident_mode = resident_mode
+        self.current_slot = 0
+        self._slot_jobs: dict[int, int] = {}   # slot -> job_id on this node
+        self._jobs: dict[int, _LocalJob] = {}  # job_id -> local record
+        control_net.register(node.node_id, self._on_message)
+
+    # ------------------------------------------------------------------ dispatch
+    def _on_message(self, src: int, message) -> None:
+        kind = message[0]
+        if kind == "load-job":
+            _, job_id, slot, rank, rank_to_node, workload = message
+            self.sim.process(self._load_job(job_id, slot, rank, rank_to_node, workload),
+                             name=f"noded{self.node.node_id}-load-j{job_id}")
+        elif kind == "job-sync":
+            self._jobs[message[1]].sync_event.succeed()
+        elif kind == "switch-slot":
+            _, sequence, old_slot, new_slot = message
+            self.sim.process(self._switch(sequence, old_slot, new_slot),
+                             name=f"noded{self.node.node_id}-switch{sequence}")
+        elif kind == "end-job":
+            self.sim.process(self._end_job(message[1]),
+                             name=f"noded{self.node.node_id}-end-j{message[1]}")
+        else:
+            raise SchedulingError(f"noded {self.node.node_id}: unknown message "
+                                  f"{message!r}")
+
+    # ------------------------------------------------------------------ job loading
+    def _load_job(self, job_id: int, slot: int, rank: int,
+                  rank_to_node: dict[int, int], workload: Workload):
+        if slot in self._slot_jobs:
+            raise SchedulingError(
+                f"noded {self.node.node_id}: slot {slot} already hosts job "
+                f"{self._slot_jobs[slot]}"
+            )
+        install = self.resident_mode or slot == self.current_slot
+        ctx, env = yield from self.glue.COMM_init_job(
+            job_id, rank, rank_to_node, self.policy, install=install)
+        yield self.node.cpu.busy(self.FORK_TIME)
+        local = _LocalJob(job_id=job_id, slot=slot, rank=rank, context=ctx,
+                          workload=workload, sync_event=Event(self.sim))
+        proc = self.sim.process(self._app_main(local, env),
+                                name=f"app-j{job_id}-r{rank}")
+        if not self.resident_mode and slot != self.current_slot:
+            proc.suspend()  # the job's gang slot is not running
+        proc.add_callback(lambda ev: self._on_app_done(local, ev))
+        local.process = proc
+        self._jobs[job_id] = local
+        self._slot_jobs[slot] = job_id
+        self.control_net.send(self.node.node_id, self.master_endpoint,
+                              ("loaded", job_id, self.node.node_id))
+
+    def _app_main(self, local: _LocalJob, env: dict[str, str]):
+        """The forked user process: FM_initialize, then the workload."""
+        penv = parse_environment(env)  # what crosses the fork boundary
+        yield self.node.cpu.busy(self.FM_INIT_TIME)
+        # Block on the pipe until the noded forwards the masterd's
+        # all-up signal; only then is sending safe.
+        yield local.sync_event
+        lib = FMLibrary(self.node, self.glue.firmware, local.context)
+        local.endpoint = Endpoint(local.context, lib)
+        result = yield from local.workload(local.endpoint)
+        return result
+
+    def _on_app_done(self, local: _LocalJob, event: Event) -> None:
+        if event.ok is False:
+            raise event.value  # surface workload crashes loudly
+        local.finished = True
+        local.result = event.value
+        self.control_net.send(self.node.node_id, self.master_endpoint,
+                              ("job-finished", local.job_id, self.node.node_id,
+                               local.rank, local.result))
+
+    # ------------------------------------------------------------------ switching
+    def _switch(self, sequence: int, old_slot: int, new_slot: int):
+        out_job = self._slot_jobs.get(old_slot)
+        in_job = self._slot_jobs.get(new_slot)
+        started = self.sim.now
+
+        out_local = self._jobs.get(out_job) if out_job is not None else None
+        in_local = self._jobs.get(in_job) if in_job is not None else None
+
+        if out_local is not None and out_local.process is not None:
+            yield self.node.cpu.busy(self.SIGNAL_TIME)
+            out_local.process.suspend()  # SIGSTOP
+
+        if self.resident_mode:
+            halt_s = switch_s = release_s = 0.0
+            out_send = out_recv = 0
+        else:
+            halt_s = yield from self.glue.COMM_halt_network()
+            report = yield from self.glue.COMM_context_switch(out_job, in_job)
+            switch_s = report.duration
+            out_send, out_recv = report.out_send_valid, report.out_recv_valid
+            release_s = yield from self.glue.COMM_release_network()
+
+        if in_local is not None and in_local.process is not None:
+            yield self.node.cpu.busy(self.SIGNAL_TIME)
+            in_local.process.resume()  # SIGCONT
+
+        self.current_slot = new_slot
+        self.recorder.add(SwitchRecord(
+            node_id=self.node.node_id, sequence=sequence,
+            old_slot=old_slot, new_slot=new_slot,
+            halt_seconds=halt_s, switch_seconds=switch_s,
+            release_seconds=release_s,
+            out_job=out_job, in_job=in_job,
+            out_send_valid=out_send, out_recv_valid=out_recv,
+            algorithm=("resident" if self.resident_mode
+                       else self.glue.switch_algorithm.name),
+            started_at=started,
+        ))
+        self.control_net.send(self.node.node_id, self.master_endpoint,
+                              ("switch-done", sequence, self.node.node_id))
+
+    # ------------------------------------------------------------------ teardown
+    def _end_job(self, job_id: int):
+        # The record is kept (jobs ids are never reused) so experiments can
+        # inspect endpoints post-mortem; only the slot mapping is cleared.
+        local = self._jobs.get(job_id)
+        if local is None or self._slot_jobs.get(local.slot) != job_id:
+            raise SchedulingError(f"noded {self.node.node_id}: end-job for "
+                                  f"unknown job {job_id}")
+        del self._slot_jobs[local.slot]
+        yield from self.glue.COMM_end_job(job_id)
+        self.control_net.send(self.node.node_id, self.master_endpoint,
+                              ("ended", job_id, self.node.node_id))
+
+    # ------------------------------------------------------------------ inspection
+    def local_job(self, job_id: int) -> _LocalJob:
+        return self._jobs[job_id]
+
+    @property
+    def hosted_jobs(self) -> list[int]:
+        return sorted(self._jobs)

@@ -1,0 +1,261 @@
+"""Simulation clock, event queue, and event types.
+
+The kernel is deterministic: events scheduled for the same instant are
+processed in scheduling order (FIFO), using a monotonically increasing
+sequence number as the tie-breaker in the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+_UNSET = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it and schedules it for processing at the current instant;
+    when the kernel processes it, all registered callbacks run and the
+    event becomes *processed*.  Yielding an event from a process generator
+    suspends the process until the event is processed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _UNSET
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None if untriggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _UNSET:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _UNSET:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self._value is not _UNSET:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._post(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event is processed.
+
+        If the event was already processed the callback fires immediately.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and fn in self.callbacks:
+            self.callbacks.remove(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._post(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok is False:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when any constituent event has been processed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all constituent events have been processed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= len(self.events)
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: list = []
+        self._seq: int = 0
+        self._processed_count: int = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (for diagnostics)."""
+        return self._processed_count
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> "Process":
+        """Start a new simulated process running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        """Insert a triggered event into the queue ``delay`` from now."""
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        self._processed_count += 1
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or event budget.
+
+        ``until`` is an absolute simulated time; on return ``now`` equals
+        ``until`` if the horizon was hit, else the time of the last event.
+        ``max_events`` guards against runaway simulations.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        count = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            if count >= budget:
+                raise SimulationError(f"run() exceeded max_events={max_events}")
+            self.step()
+            count += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_processed(self, event: Event, max_events: Optional[int] = None) -> Any:
+        """Run until ``event`` is processed; returns its value (raises on fail)."""
+        budget = max_events if max_events is not None else float("inf")
+        count = 0
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError("event queue drained before event triggered (deadlock?)")
+            if count >= budget:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            count += 1
+        if event._ok is False:
+            raise event._value
+        return event._value

@@ -1,0 +1,173 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.core.Event`; the process sleeps until
+that event is processed and is then resumed with the event's value (or the
+event's exception is thrown into it).
+
+Beyond the usual DES process semantics, this class supports
+``suspend()``/``resume()``, which model POSIX SIGSTOP/SIGCONT: the ParPar
+``noded`` stops the running application process before flushing the network
+and continues it after the buffer switch.  While suspended a process makes
+no progress; a wake-up event that fires during suspension is *deferred* and
+delivered when the process is resumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import InterruptError, SimulationError
+from repro.sim.core import Event, Simulator
+
+
+class Process(Event):
+    """A running simulated activity.
+
+    The process object is itself an event that triggers when the generator
+    terminates: it succeeds with the generator's return value, or fails
+    with the uncaught exception (when someone is waiting on it; otherwise
+    the exception propagates out of the simulation loop to aid debugging).
+    """
+
+    __slots__ = ("name", "_gen", "_target", "_suspended", "_deferred", "_pending_interrupt")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"Process needs a generator, got {generator!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self._target: Optional[Event] = None
+        self._suspended = False
+        self._deferred: Optional[Event] = None
+        self._pending_interrupt: Optional[list] = None
+        # Kick off at the current instant (but not synchronously).
+        init = Event(sim)
+        init.add_callback(self._step)
+        init.succeed()
+
+    # -- state --------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    @property
+    def is_suspended(self) -> bool:
+        return self._suspended
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits for (None while running)."""
+        return self._target
+
+    # -- SIGSTOP / SIGCONT ----------------------------------------------------
+    def suspend(self) -> None:
+        """Freeze the process: no further generator steps until resume().
+
+        Idempotent.  May only be called from outside the process itself.
+        """
+        if not self.is_alive:
+            return
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Unfreeze; any wake-up deferred during suspension is delivered now.
+
+        Delivery happens at the current simulated instant but through the
+        event queue, preserving deterministic ordering.
+        """
+        if not self.is_alive or not self._suspended:
+            self._suspended = False
+            return
+        self._suspended = False
+        if self._pending_interrupt is not None:
+            causes, self._pending_interrupt = self._pending_interrupt, None
+            self._deferred = None
+            for cause in causes[:1]:  # deliver a single interrupt
+                self._schedule_interrupt(cause)
+        elif self._deferred is not None:
+            deferred, self._deferred = self._deferred, None
+            relay = Event(self.sim)
+            relay.add_callback(lambda _ev: self._step(deferred))
+            relay.succeed()
+
+    # -- interrupts -----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`InterruptError` into the process at the current time.
+
+        Returns False (and does nothing) if the process already terminated.
+        If the process is suspended, the interrupt is deferred and delivered
+        on resume — a stopped process cannot run signal handlers either.
+        """
+        if not self.is_alive:
+            return False
+        if self._suspended:
+            if self._pending_interrupt is None:
+                self._pending_interrupt = []
+            self._pending_interrupt.append(cause)
+            return True
+        self._schedule_interrupt(cause)
+        return True
+
+    def _schedule_interrupt(self, cause: Any) -> None:
+        poke = Event(self.sim)
+        poke.add_callback(lambda _ev: self._deliver_interrupt(cause))
+        poke.succeed()
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self.is_alive:
+            return
+        # Detach from whatever we were waiting on; the old event may still
+        # fire later but must no longer wake us.
+        if self._target is not None:
+            self._target.remove_callback(self._step)
+            self._target = None
+        self._advance(InterruptError(cause), throw=True)
+
+    # -- generator driving ------------------------------------------------------
+    def _step(self, event: Optional[Event]) -> None:
+        """Callback: the event we were waiting on has been processed."""
+        if not self.is_alive:
+            return
+        if self._suspended:
+            self._deferred = event
+            return
+        self._target = None
+        if event is None:
+            self._advance(None, throw=False)
+        elif event._ok:
+            self._advance(event._value, throw=False)
+        else:
+            self._advance(event._value, throw=True)
+
+    def _advance(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                if isinstance(value, BaseException):
+                    nxt = self._gen.throw(value)
+                else:  # pragma: no cover - defensive
+                    nxt = self._gen.throw(SimulationError(repr(value)))
+            else:
+                nxt = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes must yield Events"
+            )
+        if nxt.sim is not self.sim:
+            raise SimulationError(f"process {self.name!r} yielded an event from another simulator")
+        self._target = nxt
+        nxt.add_callback(self._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "dead" if not self.is_alive else ("suspended" if self._suspended else "alive")
+        return f"<Process {self.name!r} {state}>"

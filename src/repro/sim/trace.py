@@ -1,0 +1,80 @@
+"""Structured tracing of simulation events.
+
+Protocol models emit trace records (packet sent, halt broadcast, buffer
+switch stage, ...) so tests can assert on *sequences* of behaviour and the
+experiment harness can post-process timings without instrumenting the
+models further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a timestamped, typed, tagged observation."""
+
+    time: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects; can be disabled for speed.
+
+    ``kinds`` restricts recording to an allow-list, which keeps hot-path
+    tracing (per-packet events) out of long experiment runs.
+    """
+
+    def __init__(self, clock: Callable[[], float], enabled: bool = True,
+                 kinds: Optional[set[str]] = None):
+        self._clock = clock
+        self.enabled = enabled
+        self.kinds = kinds
+        self.records: list[TraceRecord] = []
+
+    def record(self, kind: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(self._clock(), kind, fields))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def between(self, start: float, end: float) -> list[TraceRecord]:
+        return [r for r in self.records if start <= r.time <= end]
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        for rec in reversed(self.records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything (used as a default)."""
+
+    def __init__(self):
+        super().__init__(clock=lambda: 0.0, enabled=False)
+
+    def record(self, kind: str, **fields: Any) -> None:  # pragma: no cover
+        return

@@ -1,0 +1,70 @@
+"""Unit constants and conversion helpers.
+
+Simulated time is a ``float`` number of seconds.  All hardware models in
+:mod:`repro.hardware` express costs in seconds internally, but the paper
+reports context-switch costs in *CPU cycles* of the 200 MHz Pentium-Pro
+hosts, so helpers to convert between cycles and seconds live here as well.
+
+Throughput units follow the paper: it quotes "MB/s" for decimal megabytes
+(10**6 bytes) per second, and buffer sizes in binary KB/MB.
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+
+MS = MILLISECOND
+US = MICROSECOND
+NS = NANOSECOND
+
+# --- sizes (binary, as used for buffer/memory sizes) ---------------------
+KiB = 1024
+MiB = 1024 * 1024
+
+# --- sizes (decimal, as used for link/memory bandwidth) ------------------
+KB = 1000
+MB = 1000 * 1000
+GB = 1000 * 1000 * 1000
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count at ``clock_hz`` into seconds."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> int:
+    """Convert a duration in seconds into a whole number of cycles.
+
+    Rounds to nearest so that converting a cost model's float duration
+    back into cycles reproduces the intended count.
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return int(round(seconds * clock_hz))
+
+
+def bytes_per_second(nbytes: float, seconds: float) -> float:
+    """Throughput in bytes/second; 0.0 for a zero-length interval."""
+    if seconds <= 0:
+        return 0.0
+    return nbytes / seconds
+
+
+def mb_per_second(nbytes: float, seconds: float) -> float:
+    """Throughput in decimal MB/s, the unit used in the paper's figures."""
+    return bytes_per_second(nbytes, seconds) / MB
+
+
+def transfer_time(nbytes: float, rate_bytes_per_s: float) -> float:
+    """Time to move ``nbytes`` at ``rate_bytes_per_s`` (seconds)."""
+    if rate_bytes_per_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bytes_per_s}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    return nbytes / rate_bytes_per_s

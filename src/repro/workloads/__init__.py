@@ -1,0 +1,29 @@
+"""Benchmark applications that run *on* the simulated cluster.
+
+- :mod:`~repro.workloads.bandwidth` — the paper's point-to-point
+  bandwidth benchmark (Section 4.1): a sender/receiver pair with a
+  finish message, "based on the bandwidth benchmark that comes as part
+  of the FM distribution";
+- :mod:`~repro.workloads.alltoall` — the all-to-all stress benchmark of
+  Section 4.2, "that will stress the buffers during the test";
+- :mod:`~repro.workloads.synthetic` — extra traffic patterns (ring,
+  uniform-random, bursts) used by tests and ablations.
+"""
+
+from repro.workloads.alltoall import AllToAllStats, alltoall_benchmark, alltoall_stream
+from repro.workloads.bandwidth import BandwidthResult, bandwidth_benchmark
+from repro.workloads.latency import LatencyResult, pingpong_benchmark
+from repro.workloads.synthetic import burst_benchmark, ring_benchmark, uniform_random_benchmark
+
+__all__ = [
+    "AllToAllStats",
+    "BandwidthResult",
+    "LatencyResult",
+    "alltoall_benchmark",
+    "alltoall_stream",
+    "bandwidth_benchmark",
+    "burst_benchmark",
+    "pingpong_benchmark",
+    "ring_benchmark",
+    "uniform_random_benchmark",
+]

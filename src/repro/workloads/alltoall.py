@@ -1,0 +1,151 @@
+"""All-to-all benchmarks (paper Section 4.2).
+
+"To measure the context switch overhead we used an all-to-all benchmark,
+that will stress the buffers during the test."  Every process sends to
+every other process each round, extracting opportunistically to keep the
+credit windows recycling (two processes that never extract would wedge
+each other's windows — a property the flow-control tests pin down).
+
+Two variants:
+
+- :func:`alltoall_benchmark` — a fixed number of rounds; finishes.
+- :func:`alltoall_stream` — open-ended: keeps the buffers busy until a
+  simulated-time deadline, which is what the switch-overhead experiments
+  (Figures 7-9) run underneath the gang scheduler.  Ranks cross the
+  deadline at different points, so termination uses 1-byte *fence*
+  messages; a fence may arrive while its receiver is still in the data
+  loop, so fences are classified wherever extraction happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fm.harness import Endpoint
+
+#: Message size reserved for termination fences in the open-ended
+#: workloads (data messages must be larger).
+FENCE_BYTES = 1
+
+
+@dataclass(frozen=True)
+class AllToAllStats:
+    """One rank's totals."""
+
+    rank: int
+    rounds: int
+    messages_sent: int
+    messages_received: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class _Tally:
+    """Extraction counters shared between the data and fence phases."""
+
+    __slots__ = ("data", "fences")
+
+    def __init__(self):
+        self.data = 0
+        self.fences = 0
+
+    def classify(self, msg) -> None:
+        if msg.nbytes == FENCE_BYTES:
+            self.fences += 1
+        else:
+            self.data += 1
+
+
+def _drain_pending(lib, tally: _Tally):
+    """Extract whatever is in the receive queue right now."""
+    while lib.pending_packets:
+        msg = yield from lib.extract()
+        if msg is not None:
+            tally.classify(msg)
+
+
+def _collect_fences(lib, tally: _Tally, expected: int):
+    """Block until a fence from every peer has been extracted."""
+    while tally.fences < expected:
+        msg = yield from lib.extract()
+        if msg is not None:
+            tally.classify(msg)
+
+
+def alltoall_benchmark(rounds: int, message_bytes: int):
+    """Workload factory: ``rounds`` rounds of everyone-to-everyone."""
+    if rounds <= 0:
+        raise ConfigError(f"rounds must be positive, got {rounds}")
+    if message_bytes < 0:
+        raise ConfigError(f"message_bytes must be >= 0, got {message_bytes}")
+
+    def workload(ep: Endpoint):
+        lib = ep.library
+        peers = [r for r in sorted(ep.context.rank_to_node) if r != ep.rank]
+        if not peers:
+            raise ConfigError("all-to-all needs at least two processes")
+        target = rounds * len(peers)
+        started = lib.sim.now
+        tally = _Tally()
+        for _ in range(rounds):
+            # Send the whole round as a burst, then drain: the fan-in of
+            # p-1 simultaneous senders is what loads the receive queues
+            # ("the host processor cannot keep up with the bursts of
+            # incoming packets", Sec. 4.2).
+            for peer in peers:
+                yield from lib.send(peer, message_bytes)
+            yield from _drain_pending(lib, tally)
+        while tally.data < target:
+            msg = yield from lib.extract()
+            if msg is not None:
+                tally.classify(msg)
+        return AllToAllStats(rank=ep.rank, rounds=rounds,
+                             messages_sent=target, messages_received=tally.data,
+                             started_at=started, finished_at=lib.sim.now)
+
+    return workload
+
+
+def alltoall_stream(until: float, message_bytes: int):
+    """Workload factory: all-to-all rounds until simulated time ``until``.
+
+    Designed to run *under* the gang scheduler: the deadline is absolute
+    simulated time, so a process that spends most of its life suspended
+    still stops promptly once its quantum passes the deadline.  Each rank
+    sends a fence to every peer after its deadline and drains until it
+    has collected a fence from each peer — per-pair FIFO then guarantees
+    everything destined to it has been extracted.
+    """
+    if message_bytes <= FENCE_BYTES:
+        raise ConfigError("alltoall_stream needs message_bytes >= 2 "
+                          f"({FENCE_BYTES}-byte messages are the fences)")
+
+    def workload(ep: Endpoint):
+        lib = ep.library
+        peers = [r for r in sorted(ep.context.rank_to_node) if r != ep.rank]
+        if not peers:
+            raise ConfigError("all-to-all needs at least two processes")
+        started = lib.sim.now
+        tally = _Tally()
+        sent = 0
+        rounds = 0
+        while lib.sim.now < until:
+            # Burst to every peer, then drain (see alltoall_benchmark).
+            for peer in peers:
+                yield from lib.send(peer, message_bytes)
+                sent += 1
+            yield from _drain_pending(lib, tally)
+            rounds += 1
+        for peer in peers:
+            yield from lib.send(peer, FENCE_BYTES)
+        yield from _collect_fences(lib, tally, len(peers))
+        return AllToAllStats(rank=ep.rank, rounds=rounds,
+                             messages_sent=sent, messages_received=tally.data,
+                             started_at=started, finished_at=lib.sim.now)
+
+    return workload

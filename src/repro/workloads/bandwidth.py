@@ -1,0 +1,91 @@
+"""The point-to-point bandwidth benchmark (paper Section 4.1).
+
+"A parallel application which consists of two processes, a sender and a
+receiver.  When run, the sender starts sending a given number of messages
+of a specific size.  After all the messages are received by the receiver,
+it sends a finish message to the sender and exits.  When the sender
+receives the finish message it times it and calculates the bandwidth."
+
+The finish-message overhead is amortised by the message count, exactly as
+in the paper (it used 500,000 messages for small sizes; the simulation
+scales that down — bandwidth is a steady-state rate, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, CreditError
+from repro.fm.harness import Endpoint
+from repro.units import mb_per_second
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """The sender's measurement."""
+
+    messages: int
+    message_bytes: int
+    started_at: float
+    finished_at: float
+    blocked: bool = False   # True when C0=0 made communication impossible
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.messages * self.message_bytes
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def mbps(self) -> float:
+        """Bandwidth in decimal MB/s (the paper's unit); 0 when blocked."""
+        if self.blocked or self.elapsed <= 0:
+            return 0.0
+        return mb_per_second(self.payload_bytes, self.elapsed)
+
+
+def bandwidth_benchmark(messages: int, message_bytes: int):
+    """Workload factory: rank 0 sends, rank 1 receives + finishes.
+
+    The sender's workload returns a :class:`BandwidthResult`; the
+    receiver's returns the number of messages it consumed.  A zero-credit
+    configuration (the static partitioning at >= 7 contexts) is reported
+    as a ``blocked`` result with 0 MB/s rather than an exception — that
+    *is* the data point the paper plots.
+    """
+    if messages <= 0:
+        raise ConfigError(f"messages must be positive, got {messages}")
+    if message_bytes < 0:
+        raise ConfigError(f"message_bytes must be >= 0, got {message_bytes}")
+
+    def workload(ep: Endpoint):
+        if ep.context.num_procs != 2:
+            raise ConfigError("the bandwidth benchmark is a two-process application")
+        lib = ep.library
+        if ep.rank == 0:
+            started = lib.sim.now
+            try:
+                for _ in range(messages):
+                    yield from lib.send(1, message_bytes)
+            except CreditError:
+                return BandwidthResult(messages, message_bytes,
+                                       started_at=started, finished_at=lib.sim.now,
+                                       blocked=True)
+            # Wait for the receiver's finish message, then stop the clock.
+            yield from lib.extract_messages(1)
+            return BandwidthResult(messages, message_bytes,
+                                   started_at=started, finished_at=lib.sim.now)
+        else:
+            received = 0
+            if ep.context.geometry.initial_credits == 0:
+                return 0  # mirror of the sender's blocked path
+            while received < messages:
+                msg = yield from lib.extract()
+                if msg is not None:
+                    received += 1
+            yield from lib.send(0, 1)  # the finish message
+            return received
+
+    return workload

@@ -1,0 +1,66 @@
+"""Ping-pong latency benchmark.
+
+The paper only reports bandwidth, but FM's claim to fame was its
+short-message latency (~11 us one-way on this hardware generation), and
+any user of this library will want the number.  Classic methodology:
+rank 0 sends, rank 1 echoes, half the mean round-trip is the one-way
+latency; warm-up iterations are excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fm.harness import Endpoint
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Rank 0's measurement."""
+
+    iterations: int
+    message_bytes: int
+    mean_rtt: float
+    min_rtt: float
+    max_rtt: float
+
+    @property
+    def one_way(self) -> float:
+        """The usual half-round-trip estimator (seconds)."""
+        return self.mean_rtt / 2
+
+
+def pingpong_benchmark(iterations: int, message_bytes: int, warmup: int = 5):
+    """Workload factory: rank 0 measures, rank 1 echoes."""
+    if iterations <= 0:
+        raise ConfigError(f"iterations must be positive, got {iterations}")
+    if message_bytes < 0:
+        raise ConfigError(f"message_bytes must be >= 0, got {message_bytes}")
+    if warmup < 0:
+        raise ConfigError(f"warmup must be >= 0, got {warmup}")
+
+    def workload(ep: Endpoint):
+        if ep.context.num_procs != 2:
+            raise ConfigError("ping-pong is a two-process application")
+        lib = ep.library
+        total = warmup + iterations
+        if ep.rank == 0:
+            rtts = []
+            for i in range(total):
+                t0 = lib.sim.now
+                yield from lib.send(1, message_bytes)
+                yield from lib.extract_messages(1)
+                if i >= warmup:
+                    rtts.append(lib.sim.now - t0)
+            return LatencyResult(
+                iterations=iterations, message_bytes=message_bytes,
+                mean_rtt=sum(rtts) / len(rtts),
+                min_rtt=min(rtts), max_rtt=max(rtts),
+            )
+        for _ in range(total):
+            yield from lib.extract_messages(1)
+            yield from lib.send(0, message_bytes)
+        return total
+
+    return workload

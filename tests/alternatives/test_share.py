@@ -1,0 +1,112 @@
+"""Tests for the SHARE-style (unflushed) context-switch ablation."""
+
+import pytest
+
+from repro.alternatives.share import ShareNodeDaemon
+from repro.fm.config import FMConfig
+from repro.parpar.cluster import ClusterConfig, ParParCluster
+from repro.parpar.job import JobSpec
+from repro.workloads.alltoall import alltoall_stream
+
+
+def run_switching(noded_class, strict, num_switches=6, nodes=4):
+    fm = FMConfig(max_contexts=2, num_processors=16)
+    cluster = ParParCluster(ClusterConfig(
+        num_nodes=nodes, time_slots=2, quantum=0.010,
+        buffer_switching=True, fm=fm,
+        strict_no_loss=strict, noded_class=noded_class,
+    ))
+    workload = alltoall_stream(until=float("inf"), message_bytes=4000)
+    for i in range(2):
+        cluster.submit(JobSpec(f"a2a{i}", nodes, workload))
+    budget = 100_000_000
+    while cluster.masterd.switches_completed < num_switches and budget:
+        cluster.sim.step()
+        budget -= 1
+    assert budget, "switch budget exhausted"
+    return cluster
+
+
+def _quiesce(cluster, settle: float = 0.2, rounds: int = 20):
+    """Suspend all application processes and drain the fabric/timers.
+
+    The gang timer keeps ticking and its slot switches SIGCONT the
+    incoming job, so suspension is re-applied in small rounds until a
+    full settle interval has passed with everyone stopped (far above the
+    credit turnaround, so everything in flight has landed).
+    """
+    def stop_everyone():
+        for noded in cluster.nodeds:
+            for job_id in noded.hosted_jobs:
+                proc = noded.local_job(job_id).process
+                if proc is not None and proc.is_alive:
+                    proc.suspend()
+
+    cluster.masterd.pause_rotation()
+    for _ in range(rounds):  # outlive any already-queued switch
+        stop_everyone()
+        cluster.run_for(settle / rounds)
+    stop_everyone()
+    cluster.run_for(settle)
+
+
+def _job_contexts(cluster, job_id):
+    contexts = {}
+    for noded in cluster.nodeds:
+        if job_id in noded.hosted_jobs:
+            local = noded.local_job(job_id)
+            contexts[local.rank] = local.context
+    return contexts
+
+
+class TestShareSwitching:
+    def test_unflushed_switches_lose_packets(self):
+        cluster = run_switching(ShareNodeDaemon, strict=False)
+        assert cluster.total_dropped() > 0, (
+            "switching without a network flush must catch in-flight packets"
+        )
+
+    def test_flushed_baseline_loses_nothing(self):
+        cluster = run_switching(None, strict=True)
+        assert cluster.total_dropped() == 0
+
+    def test_lost_packets_leak_credits(self):
+        """FM has no retransmission: every dropped data packet is a credit
+        that never returns — the wedge the paper warns about."""
+        from tests.helpers import audit_credit_leaks
+
+        cluster = run_switching(ShareNodeDaemon, strict=False, num_switches=8)
+        data_drops = sum(
+            1 for g in cluster.glue for p in g.firmware.dropped_packets
+            if p.is_data
+        )
+        assert data_drops > 0
+        # Quiesce: stop every application process, drain the fabric and
+        # the delayed credit-turnaround timers, then audit the ledgers.
+        _quiesce(cluster)
+        total_leak = 0
+        for noded0_job in cluster.nodeds[0].hosted_jobs:
+            contexts = _job_contexts(cluster, noded0_job)
+            leaks = audit_credit_leaks(contexts)
+            assert all(v > 0 for v in leaks.values()), (
+                f"negative leak means invented credits: {leaks}"
+            )
+            total_leak += sum(leaks.values())
+        assert total_leak > 0
+
+    def test_flushed_baseline_conserves_credits_exactly(self):
+        from tests.helpers import audit_credit_leaks
+
+        cluster = run_switching(None, strict=True, num_switches=6)
+        _quiesce(cluster)
+        for job_id in cluster.nodeds[0].hosted_jobs:
+            contexts = _job_contexts(cluster, job_id)
+            assert audit_credit_leaks(contexts) == {}
+
+    def test_switch_records_have_no_flush_stages(self):
+        cluster = run_switching(ShareNodeDaemon, strict=False)
+        recs = cluster.recorder.with_outgoing_job()
+        assert recs
+        assert all(r.halt_seconds == 0.0 and r.release_seconds == 0.0
+                   for r in recs)
+        assert all(r.algorithm.startswith("share+") for r in recs)

@@ -1,0 +1,73 @@
+"""Tests for the schedule-timeline reconstruction and rendering."""
+
+import pytest
+
+from repro.analysis.timeline import ScheduleTimeline, render_switch_breakdown
+from repro.errors import ConfigError
+from repro.metrics.counters import SwitchRecord
+from repro.parpar.cluster import ClusterConfig, ParParCluster
+from repro.parpar.job import JobSpec
+from repro.workloads.alltoall import alltoall_benchmark
+
+
+def rec(node, seq, started, old, new, halt=0.0001, switch=0.001, release=0.0001):
+    return SwitchRecord(node_id=node, sequence=seq, old_slot=old, new_slot=new,
+                        halt_seconds=halt, switch_seconds=switch,
+                        release_seconds=release, out_job=1, in_job=2,
+                        out_send_valid=0, out_recv_valid=0,
+                        algorithm="test", started_at=started)
+
+
+class TestTimelineReconstruction:
+    def test_simple_two_switch_timeline(self):
+        records = [rec(0, 1, started=0.010, old=0, new=1),
+                   rec(0, 2, started=0.020, old=1, new=0)]
+        tl = ScheduleTimeline(records, end_time=0.030)
+        assert tl.slot_at(0, 0.005) == 0
+        assert tl.slot_at(0, 0.0105) is None   # mid-switch
+        assert tl.slot_at(0, 0.015) == 1
+        assert tl.slot_at(0, 0.025) == 0
+
+    def test_slot_share_sums_to_one(self):
+        records = [rec(0, 1, started=0.010, old=0, new=1)]
+        tl = ScheduleTimeline(records, end_time=0.020)
+        shares = tl.slot_share(0)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_invalid_end_time(self):
+        with pytest.raises(ConfigError):
+            ScheduleTimeline([], end_time=0)
+
+    def test_render_contains_all_nodes(self):
+        records = [rec(n, 1, started=0.010, old=0, new=1) for n in range(3)]
+        tl = ScheduleTimeline(records, end_time=0.020)
+        text = tl.render(width=20)
+        for n in range(3):
+            assert f"node {n:>3}" in text
+
+    def test_breakdown_table(self):
+        records = [rec(0, 1, 0.01, 0, 1), rec(1, 1, 0.0101, 0, 1),
+                   rec(0, 2, 0.02, 1, 0), rec(1, 2, 0.0201, 1, 0)]
+        text = render_switch_breakdown(records)
+        assert "round" in text
+        assert len(text.splitlines()) == 3
+
+    def test_breakdown_empty(self):
+        assert "no switches" in render_switch_breakdown([])
+
+
+class TestGangProperty:
+    def test_real_cluster_has_no_gang_violations(self):
+        """Reconstructed from an actual run: the gang invariant holds —
+        no two nodes ever run different slots at the same instant."""
+        cluster = ParParCluster(ClusterConfig(num_nodes=4, time_slots=2,
+                                              quantum=0.005))
+        jobs = [cluster.submit(JobSpec(f"a2a{i}", 4, alltoall_benchmark(120, 1200)))
+                for i in range(2)]
+        cluster.run_until_finished(jobs)
+        assert len(cluster.recorder) > 0
+        tl = ScheduleTimeline(cluster.recorder.records,
+                              end_time=cluster.sim.now)
+        assert tl.gang_violations() == []
+        assert tl.nodes == [0, 1, 2, 3]

@@ -1,0 +1,101 @@
+"""Smoke tests for the experiment drivers at miniature scale.
+
+The real sweeps live in benchmarks/; these verify the drivers' plumbing
+(parameter handling, result shapes, report rendering) quickly.
+"""
+
+import pytest
+
+from repro.experiments.common import messages_for_size
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_switch_point
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.report import (
+    format_table,
+    render_figure5,
+    render_figure6,
+    render_figure8,
+    render_headline,
+    render_switch_overheads,
+)
+from repro.experiments.table_overhead import run_headline_overheads
+from repro.fm.config import FMConfig
+from repro.gluefm.switch import FullCopy, ValidOnlyCopy
+
+
+class TestCommon:
+    def test_messages_for_size_scales(self):
+        config = FMConfig()
+        small = messages_for_size(config, 64, target_packets=1000)
+        large = messages_for_size(config, 65536, target_packets=1000)
+        assert small == 1000
+        assert large < small
+        assert large >= 20
+
+    def test_messages_for_size_validates(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            messages_for_size(FMConfig(), 100, target_packets=0)
+
+
+class TestFigure5Driver:
+    def test_tiny_sweep(self):
+        points = run_figure5(contexts=(1, 8), message_sizes=(4096,),
+                             target_packets=120)
+        assert len(points) == 2
+        by_ctx = {p.contexts: p for p in points}
+        assert by_ctx[1].mbps > 0
+        assert by_ctx[8].mbps == 0.0
+        assert by_ctx[8].c0 == 0
+        text = render_figure5(points)
+        assert "Figure 5" in text and "4096" in text
+
+
+class TestFigure6Driver:
+    def test_tiny_sweep(self):
+        points = run_figure6(jobs=(1, 2), message_sizes=(4096,),
+                             quanta_per_job=2.0, quantum=0.01)
+        assert len(points) == 2
+        one, two = sorted(points, key=lambda p: p.jobs)
+        assert len(two.per_job_mbps) == 2
+        assert two.switches > 0
+        assert one.aggregate_mbps > 0
+        text = render_figure6(points)
+        assert "Figure 6" in text
+
+
+class TestSwitchDrivers:
+    def test_switch_point_shapes(self):
+        point = run_switch_point(2, ValidOnlyCopy(), num_switches=3)
+        assert point.nodes == 2
+        assert point.switches >= 3
+        assert point.mean_cycles.switch > 0
+        assert point.occupancy.samples == point.switches
+        text = render_switch_overheads([point], "9")
+        assert "valid-only-copy" in text
+
+    def test_figure8_point(self):
+        points = run_figure8(nodes=(2,), num_switches=3)
+        assert points[0].samples > 0
+        assert "Figure 8" in render_figure8(points)
+
+    def test_headline(self):
+        summaries = run_headline_overheads(nodes=2, num_switches=2)
+        assert {s.algorithm for s in summaries} == {"full-copy", "valid-only-copy"}
+        assert all(s.within_paper_bound for s in summaries)
+        assert "Headline" in render_headline(summaries)
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # rectangular
+
+    def test_full_copy_constant_across_nodes(self):
+        p2 = run_switch_point(2, FullCopy(), num_switches=2)
+        p4 = run_switch_point(4, FullCopy(), num_switches=2)
+        assert p2.mean_cycles.switch == p4.mean_cycles.switch

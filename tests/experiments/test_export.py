@@ -1,0 +1,57 @@
+"""Tests for CSV export of experiment results."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.export import to_csv, write_csv
+from repro.experiments.figure5 import Figure5Point
+from repro.experiments.figure7 import SwitchOverheadPoint
+from repro.metrics.counters import StageTimings
+from repro.metrics.occupancy import OccupancySummary
+
+
+def fig5_points():
+    return [Figure5Point(contexts=1, message_bytes=1024, c0=41, mbps=57.3,
+                         messages=100),
+            Figure5Point(contexts=8, message_bytes=1024, c0=0, mbps=0.0,
+                         messages=100)]
+
+
+class TestToCsv:
+    def test_flat_dataclass(self):
+        text = to_csv(fig5_points())
+        lines = text.strip().splitlines()
+        assert lines[0] == "contexts,message_bytes,c0,mbps,messages"
+        assert lines[1] == "1,1024,41,57.3,100"
+        assert lines[2].startswith("8,1024,0,0.0")
+
+    def test_nested_dataclasses_flatten_with_dots(self):
+        point = SwitchOverheadPoint(
+            nodes=4, algorithm="full-copy", switches=8,
+            mean_cycles=StageTimings(halt=10, switch=20, release=30),
+            occupancy=OccupancySummary(8, 1.0, 2.0, 3, 4),
+        )
+        text = to_csv([point])
+        header = text.splitlines()[0]
+        assert "mean_cycles.halt" in header
+        assert "occupancy.mean_recv" in header
+        row = text.splitlines()[1]
+        assert "full-copy" in row
+
+    def test_empty_is_empty(self):
+        assert to_csv([]) == ""
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ConfigError):
+            to_csv([{"not": "a dataclass"}])
+
+    def test_heterogeneous_rows_rejected(self):
+        point = fig5_points()[0]
+        other = StageTimings(1, 2, 3)
+        with pytest.raises(ConfigError, match="heterogeneous"):
+            to_csv([point, other])
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "fig5.csv"
+        write_csv(fig5_points(), path)
+        assert path.read_text() == to_csv(fig5_points())

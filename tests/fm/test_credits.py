@@ -1,0 +1,144 @@
+"""Unit tests for the credit-based flow-control state."""
+
+import pytest
+
+from repro.errors import CreditError
+from repro.fm.credits import CreditState
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestAcquire:
+    def test_initial_credits_available(self, sim):
+        cs = CreditState(sim, c0=5, peers=[1, 2])
+        assert cs.available(1) == 5
+        assert cs.available(2) == 5
+
+    def test_acquire_decrements(self, sim):
+        cs = CreditState(sim, c0=3, peers=[1])
+        done = []
+
+        def sender():
+            yield cs.acquire_send(1)
+            done.append(cs.available(1))
+
+        sim.process(sender())
+        sim.run()
+        assert done == [2]
+
+    def test_acquire_blocks_at_zero_until_refill(self, sim):
+        cs = CreditState(sim, c0=1, peers=[1])
+        log = []
+
+        def sender():
+            yield cs.acquire_send(1)
+            log.append(("first", sim.now))
+            yield cs.acquire_send(1)
+            log.append(("second", sim.now))
+
+        sim.process(sender())
+
+        def refiller():
+            yield sim.timeout(5.0)
+            cs.on_refill(1, 1)
+
+        sim.process(refiller())
+        sim.run()
+        assert log == [("first", 0.0), ("second", 5.0)]
+
+    def test_zero_c0_raises_immediately(self, sim):
+        cs = CreditState(sim, c0=0, peers=[1])
+        with pytest.raises(CreditError, match="impossible"):
+            cs.acquire_send(1)
+
+    def test_unknown_peer_rejected(self, sim):
+        cs = CreditState(sim, c0=2, peers=[1])
+        with pytest.raises(CreditError):
+            cs.acquire_send(9)
+        with pytest.raises(CreditError):
+            cs.on_refill(9, 1)
+
+
+class TestRefill:
+    def test_refill_overflow_guard(self, sim):
+        cs = CreditState(sim, c0=2, peers=[1])
+        with pytest.raises(CreditError, match="overflow"):
+            cs.on_refill(1, 1)  # already at C0
+
+    def test_nonpositive_refill_rejected(self, sim):
+        cs = CreditState(sim, c0=2, peers=[1])
+        with pytest.raises(CreditError):
+            cs.on_refill(1, 0)
+
+    def test_low_water_threshold(self, sim):
+        # c0=10, fraction 0.5 -> low_water 5 -> refill after 5 consumed
+        cs = CreditState(sim, c0=10, peers=[1], low_water_fraction=0.5)
+        assert cs.refill_threshold == 5
+        for _ in range(4):
+            cs.note_consumed(1)
+            assert not cs.refill_due(1)
+        cs.note_consumed(1)
+        assert cs.refill_due(1)
+        assert cs.take_refill(1) == 5
+        assert cs.consumed_unreported(1) == 0
+
+    def test_threshold_never_below_one(self, sim):
+        cs = CreditState(sim, c0=1, peers=[1], low_water_fraction=0.5)
+        assert cs.refill_threshold == 1
+        cs.note_consumed(1)
+        assert cs.refill_due(1)
+        assert cs.take_refill(1) == 1
+
+    def test_take_refill_when_empty_returns_zero(self, sim):
+        cs = CreditState(sim, c0=10, peers=[1])
+        assert cs.take_refill(1) == 0
+        assert cs.refills_sent == 0
+
+
+class TestPiggyback:
+    def test_take_piggyback_resets_counter(self, sim):
+        cs = CreditState(sim, c0=10, peers=[1])
+        cs.note_consumed(1)
+        cs.note_consumed(1)
+        assert cs.take_piggyback(1) == 2
+        assert cs.take_piggyback(1) == 0
+        assert cs.consumed_unreported(1) == 0
+
+    def test_piggyback_counts_stat(self, sim):
+        cs = CreditState(sim, c0=10, peers=[1])
+        cs.note_consumed(1)
+        cs.take_piggyback(1)
+        assert cs.refills_piggybacked == 1
+
+
+class TestConservation:
+    def test_round_trip_conserves_credits(self, sim):
+        """available + unreported-consumed must return to C0 after a full
+        send/consume/refill cycle."""
+        sender = CreditState(sim, c0=4, peers=[1])
+        receiver = CreditState(sim, c0=4, peers=[0])
+
+        def cycle():
+            for _ in range(4):
+                yield sender.acquire_send(1)
+            # receiver consumes all four and reports once over threshold
+            for _ in range(4):
+                receiver.note_consumed(0)
+            total_refill = receiver.take_refill(0)
+            if receiver.consumed_unreported(0):
+                total_refill += receiver.take_piggyback(0)
+            sender.on_refill(1, total_refill)
+
+        sim.process(cycle())
+        sim.run()
+        assert sender.available(1) == 4
+
+    def test_validation(self, sim):
+        with pytest.raises(CreditError):
+            CreditState(sim, c0=-1, peers=[])
+        with pytest.raises(CreditError):
+            CreditState(sim, c0=1, peers=[], low_water_fraction=1.5)

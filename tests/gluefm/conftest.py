@@ -1,0 +1,53 @@
+"""Shared glueFM test fixtures: a bare cluster of GlueFM-managed nodes."""
+
+import pytest
+
+from repro.fm.config import FMConfig
+from repro.gluefm.api import GlueFM
+from repro.hardware.network import MyrinetFabric
+from repro.hardware.node import HostNode
+from repro.sim import Simulator
+
+
+class GlueRig:
+    """num_nodes hosts, each with an initialised GlueFM instance."""
+
+    def __init__(self, num_nodes: int, config: FMConfig | None = None,
+                 switch_algorithm=None, strict: bool = True):
+        self.sim = Simulator()
+        self.config = config if config is not None else FMConfig(
+            num_processors=num_nodes)
+        self.fabric = MyrinetFabric(self.sim)
+        self.nodes = [HostNode(self.sim, i) for i in range(num_nodes)]
+        for node in self.nodes:
+            self.fabric.register(node.nic)
+        self.glue = []
+        participants = list(range(num_nodes))
+        for node in self.nodes:
+            g = GlueFM(self.sim, node, self.fabric, self.config,
+                       switch_algorithm=switch_algorithm, strict_no_loss=strict)
+            g.COMM_init_node(participants)
+            self.glue.append(g)
+
+    def run_all(self, stage_fn, **kwargs):
+        """Run a per-node generator stage concurrently on every node;
+        returns the list of per-node results in node order."""
+        results = [None] * len(self.glue)
+
+        def runner(i):
+            results[i] = yield from stage_fn(self.glue[i], **kwargs)
+
+        procs = [self.sim.process(runner(i)) for i in range(len(self.glue))]
+        for p in procs:
+            self.sim.run_until_processed(p, max_events=5_000_000)
+        return results
+
+
+@pytest.fixture
+def rig2():
+    return GlueRig(2)
+
+
+@pytest.fixture
+def rig4():
+    return GlueRig(4)

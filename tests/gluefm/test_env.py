@@ -1,0 +1,46 @@
+"""Unit tests for the FM_* environment hand-off."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gluefm.env import build_environment, parse_environment
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        env = build_environment(7, 2, {0: 3, 1: 5, 2: 9}, sync_fd=4)
+        pe = parse_environment(env)
+        assert pe.job_id == 7
+        assert pe.rank == 2
+        assert pe.rank_to_node == {0: 3, 1: 5, 2: 9}
+        assert pe.sync_fd == 4
+        assert pe.num_procs == 3
+
+    def test_all_values_are_strings(self):
+        env = build_environment(1, 0, {0: 0, 1: 1}, sync_fd=3)
+        assert all(isinstance(v, str) for v in env.values())
+        assert all(k.startswith("FM_") for k in env)
+
+
+class TestValidation:
+    def test_rank_must_be_in_map(self):
+        with pytest.raises(ConfigError):
+            build_environment(1, 9, {0: 0, 1: 1}, sync_fd=3)
+
+    def test_missing_variable(self):
+        env = build_environment(1, 0, {0: 0, 1: 1}, sync_fd=3)
+        del env["FM_JOB_ID"]
+        with pytest.raises(ConfigError, match="missing"):
+            parse_environment(env)
+
+    def test_malformed_nodes(self):
+        env = build_environment(1, 0, {0: 0, 1: 1}, sync_fd=3)
+        env["FM_NODES"] = "0:zero,1:1"
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_environment(env)
+
+    def test_rank_absent_from_nodes(self):
+        env = build_environment(1, 0, {0: 0, 1: 1}, sync_fd=3)
+        env["FM_RANK"] = "5"
+        with pytest.raises(ConfigError):
+            parse_environment(env)

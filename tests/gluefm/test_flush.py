@@ -1,0 +1,135 @@
+"""Tests for the network flush protocol (paper Figure 3)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from tests.gluefm.conftest import GlueRig
+
+
+def halt_stage(glue):
+    duration = yield from glue.COMM_halt_network()
+    return duration
+
+
+def release_stage(glue):
+    duration = yield from glue.COMM_release_network()
+    return duration
+
+
+class TestFlushCompletes:
+    def test_two_nodes_flush_and_release(self, rig2):
+        durations = rig2.run_all(halt_stage)
+        assert all(d >= 0 for d in durations)
+        for g in rig2.glue:
+            assert g.flush.is_flushed
+            assert g.node.nic.halted
+        rig2.run_all(release_stage)
+        for g in rig2.glue:
+            assert not g.node.nic.halted
+
+    def test_sixteen_nodes_flush(self):
+        rig = GlueRig(16)
+        durations = rig.run_all(halt_stage)
+        assert all(g.flush.is_flushed for g in rig.glue)
+        # Serial-loop broadcast: flushing 16 nodes costs more than 2.
+        rig2 = GlueRig(2)
+        d2 = rig2.run_all(halt_stage)
+        assert max(durations) > max(d2)
+
+    def test_staggered_local_halts_interleave(self, rig4):
+        """A node may collect peer HALTs before its own local halt — the
+        'ah before lh' path in Figure 3."""
+        sim = rig4.sim
+        results = {}
+
+        def late_halter(i, delay):
+            yield sim.timeout(delay)
+            results[i] = yield from rig4.glue[i].COMM_halt_network()
+
+        procs = [sim.process(late_halter(i, 0.001 * i)) for i in range(4)]
+        sim.run(max_events=5_000_000)
+        assert all(p.processed for p in procs)
+        assert all(g.flush.is_flushed for g in rig4.glue)
+        # The last node to halt finds all peer HALTs banked: its flush is
+        # nearly instant once local; the first node waits for everyone.
+        assert results[0] > results[3]
+
+    def test_repeated_rounds(self, rig2):
+        for _ in range(3):
+            rig2.run_all(halt_stage)
+            rig2.run_all(release_stage)
+        for g in rig2.glue:
+            assert not g.node.nic.halted
+
+
+class TestProtocolErrors:
+    def test_release_before_flush_rejected(self, rig2):
+        def bad(glue):
+            yield from glue.COMM_release_network()
+
+        with pytest.raises(ProtocolError, match="release before flush"):
+            rig2.run_all(bad)
+
+    def test_double_flush_rejected(self, rig2):
+        rig2.run_all(halt_stage)
+
+        def again(glue):
+            yield from glue.COMM_halt_network()
+
+        with pytest.raises(ProtocolError):
+            rig2.run_all(again)
+
+    def test_begin_flush_requires_halt_bit(self, rig2):
+        g = rig2.glue[0]
+        with pytest.raises(ProtocolError, match="halt bit"):
+            g.flush.begin_flush()
+
+    def test_topology_change_mid_flush_rejected(self, rig4):
+        g = rig4.glue[0]
+        g.node.nic.set_halt_bit()
+        g.flush.begin_flush()
+        with pytest.raises(ProtocolError, match="mid-flush"):
+            g.COMM_add_node(99)
+
+    def test_add_remove_node_updates_participants(self, rig2):
+        g = rig2.glue[0]
+        g.COMM_add_node(7)
+        assert 7 in g.flush.participants
+        g.COMM_remove_node(7)
+        assert 7 not in g.flush.participants
+
+    def test_node_cannot_remove_itself(self, rig2):
+        with pytest.raises(ProtocolError):
+            rig2.glue[0].COMM_remove_node(0)
+
+    def test_api_before_init_node_rejected(self):
+        from repro.fm.config import FMConfig
+        from repro.gluefm.api import GlueFM
+        from repro.hardware.network import MyrinetFabric
+        from repro.hardware.node import HostNode
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        node = HostNode(sim, 0)
+        fabric = MyrinetFabric(sim)
+        fabric.register(node.nic)
+        g = GlueFM(sim, node, fabric, FMConfig())
+        with pytest.raises(ProtocolError, match="COMM_init_node"):
+            g.COMM_add_node(1)
+
+
+class TestStateMachine:
+    def test_initial_state_is_sending_zero(self, rig2):
+        assert rig2.glue[0].flush.state == ("S", 0)
+
+    def test_local_halt_moves_to_h_state(self, rig2):
+        g = rig2.glue[0]
+        g.node.nic.set_halt_bit()
+        g.flush.begin_flush()
+        letter, _count = g.flush.state
+        assert letter == "H"
+
+    def test_flush_reaches_h_p(self, rig4):
+        rig4.run_all(lambda g: (yield from g.COMM_halt_network()))
+        for g in rig4.glue:
+            assert g.flush.state == ("H", 4)

@@ -1,0 +1,69 @@
+"""Shared test utilities.
+
+``audit_credit_leaks`` reconstructs FM's credit-conservation ledger for
+one job after the system has quiesced: for every directed pair the
+initial window C0 must equal
+
+    available at the sender
+  + data packets queued at the sender toward the peer (unspent credits
+    already committed)
+  + data packets sitting in the peer's receive queue from this sender
+  + consumed-but-unreported count at the peer
+  + credits travelling back in queued REFILL packets or piggybacks.
+
+With no packet loss the ledger balances exactly; every lost data packet
+(or lost refill) shows up as a positive leak.  This is the quantitative
+form of the paper's warning that "a single packet loss can mess up the
+credit counters and the entire flow control algorithm".
+"""
+
+from __future__ import annotations
+
+from repro.fm.context import FMContext
+from repro.fm.packet import PacketType
+
+
+def _credits_in_queue(queue, toward_node: int) -> int:
+    """Credits represented by packets in ``queue`` heading to a node."""
+    committed = 0
+    returning = 0
+    for pkt in queue.snapshot():
+        if pkt.dst_node != toward_node:
+            continue
+        if pkt.ptype is PacketType.DATA:
+            committed += 1
+            returning += pkt.piggyback_refill
+        elif pkt.ptype is PacketType.REFILL:
+            returning += pkt.refill_credits
+    return committed, returning
+
+
+def audit_credit_leaks(contexts: dict[int, FMContext]) -> dict[tuple[int, int], int]:
+    """Per directed (sender_rank, receiver_rank) credit shortfall.
+
+    ``contexts`` maps rank -> context for one quiesced job (no packets in
+    flight on the fabric, all timers expired).  Returns only non-zero
+    leaks; an empty dict means perfect conservation.
+    """
+    leaks: dict[tuple[int, int], int] = {}
+    for src_rank, src_ctx in contexts.items():
+        for dst_rank, dst_ctx in contexts.items():
+            if src_rank == dst_rank:
+                continue
+            src_node = src_ctx.node_id
+            dst_node = dst_ctx.node_id
+            c0 = src_ctx.geometry.initial_credits
+            available = src_ctx.credits.available(dst_node)
+            committed, returning_fwd = _credits_in_queue(src_ctx.send_queue,
+                                                         dst_node)
+            in_recv = sum(1 for p in dst_ctx.recv_queue.snapshot()
+                          if p.src_node == src_node and p.ptype is PacketType.DATA)
+            unreported = dst_ctx.credits.consumed_unreported(src_node)
+            _, returning_back = _credits_in_queue(dst_ctx.send_queue, src_node)
+            total = available + committed + in_recv + unreported + returning_back
+            # returning_fwd: piggybacks on our own outgoing data belong to
+            # the reverse pair's ledger, not this one.
+            leak = c0 - total
+            if leak != 0:
+                leaks[(src_rank, dst_rank)] = leak
+    return leaks

@@ -1,0 +1,140 @@
+"""Unit tests for the gang matrix and DHC buddy placement."""
+
+import pytest
+
+from repro.errors import AllocationError, SchedulingError
+from repro.parpar.dhc import DHCAllocator, buddy_size
+from repro.parpar.matrix import GangMatrix
+
+
+class TestGangMatrix:
+    def test_paper_shape(self):
+        m = GangMatrix(num_nodes=16, num_slots=4)
+        assert m.num_nodes == 16 and m.num_slots == 4
+        assert m.occupied_slots == []
+
+    def test_place_and_query(self):
+        m = GangMatrix(4, 2)
+        m.place(7, slot=1, nodes=[0, 2])
+        assert m.job_at(1, 0) == 7
+        assert m.job_at(1, 1) is None
+        assert m.placement_of(7) == (1, (0, 2))
+        assert m.jobs_in_slot(1) == {7: [0, 2]}
+        assert m.occupied_slots == [1]
+
+    def test_double_booking_rejected(self):
+        m = GangMatrix(4, 2)
+        m.place(1, 0, [0, 1])
+        with pytest.raises(AllocationError, match="already holds"):
+            m.place(2, 0, [1, 2])
+        # Failed placement must not leave partial state.
+        assert m.job_at(0, 2) is None
+
+    def test_same_job_twice_rejected(self):
+        m = GangMatrix(4, 2)
+        m.place(1, 0, [0])
+        with pytest.raises(AllocationError, match="already placed"):
+            m.place(1, 1, [0])
+
+    def test_multiple_jobs_share_slot(self):
+        """'Several parallel applications can run in the same slot, as long
+        as the sum of nodes they require does not exceed the total.'"""
+        m = GangMatrix(4, 1)
+        m.place(1, 0, [0, 1])
+        m.place(2, 0, [2, 3])
+        assert m.jobs_in_slot(0) == {1: [0, 1], 2: [2, 3]}
+
+    def test_remove_clears_cells(self):
+        m = GangMatrix(4, 2)
+        m.place(1, 0, [0, 1])
+        slot, nodes = m.remove(1)
+        assert (slot, nodes) == (0, (0, 1))
+        assert m.free_nodes_in_slot(0) == [0, 1, 2, 3]
+        with pytest.raises(SchedulingError):
+            m.placement_of(1)
+
+    def test_bounds_checked(self):
+        m = GangMatrix(4, 2)
+        with pytest.raises(SchedulingError):
+            m.job_at(2, 0)
+        with pytest.raises(SchedulingError):
+            m.job_at(0, 9)
+
+    def test_utilization(self):
+        m = GangMatrix(4, 2)
+        assert m.utilization() == 0.0
+        m.place(1, 0, [0, 1])
+        assert m.utilization() == pytest.approx(2 / 8)
+
+    def test_render_is_printable(self):
+        m = GangMatrix(4, 2)
+        m.place(1, 0, [0, 1])
+        text = m.render()
+        assert "slot" in text and "1" in text
+
+
+class TestBuddySize:
+    @pytest.mark.parametrize("size,block", [(1, 1), (2, 2), (3, 4), (4, 4),
+                                            (5, 8), (9, 16), (16, 16)])
+    def test_rounding(self, size, block):
+        assert buddy_size(size) == block
+
+    def test_invalid(self):
+        with pytest.raises(SchedulingError):
+            buddy_size(0)
+
+
+class TestDHCAllocator:
+    def test_simple_allocation(self):
+        m = GangMatrix(16, 4)
+        alloc = DHCAllocator(m)
+        slot, nodes = alloc.allocate(1, 4)
+        assert slot == 0 and nodes == [0, 1, 2, 3]
+
+    def test_buddy_alignment(self):
+        """A 3-process job occupies a 4-aligned buddy block."""
+        m = GangMatrix(16, 4)
+        alloc = DHCAllocator(m)
+        alloc.allocate(1, 3)          # takes block [0..3], uses 3 nodes
+        slot, nodes = alloc.allocate(2, 2)
+        assert slot == 0
+        assert nodes == [4, 5]        # next aligned block, not node 3
+
+    def test_packs_same_slot_first(self):
+        m = GangMatrix(16, 4)
+        alloc = DHCAllocator(m)
+        s1, _ = alloc.allocate(1, 8)
+        s2, _ = alloc.allocate(2, 8)
+        assert s1 == s2 == 0
+
+    def test_opens_new_slot_when_full(self):
+        m = GangMatrix(16, 4)
+        alloc = DHCAllocator(m)
+        alloc.allocate(1, 16)
+        slot, _ = alloc.allocate(2, 16)
+        assert slot == 1
+
+    def test_too_large_job_rejected(self):
+        m = GangMatrix(16, 4)
+        with pytest.raises(AllocationError, match="exceeds"):
+            DHCAllocator(m).find(17)
+
+    def test_matrix_full_rejected(self):
+        m = GangMatrix(4, 2)
+        alloc = DHCAllocator(m)
+        alloc.allocate(1, 4)
+        alloc.allocate(2, 4)
+        with pytest.raises(AllocationError, match="no free buddy block"):
+            alloc.allocate(3, 1)
+
+    def test_fragmentation_respects_buddies(self):
+        """Two 2-blocks in different halves leave no aligned 4-block even
+        though 4 nodes are free in total... unless aligned blocks remain."""
+        m = GangMatrix(8, 1)
+        alloc = DHCAllocator(m)
+        m.place(10, 0, [0, 1])
+        m.place(11, 0, [4, 5])
+        slot, nodes = alloc.find(2)
+        assert nodes in ([2, 3], [6, 7])
+        with pytest.raises(AllocationError):
+            alloc.find(4)

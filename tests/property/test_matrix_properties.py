@@ -1,0 +1,74 @@
+"""Property-based tests of the gang matrix and DHC placement."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.parpar.dhc import DHCAllocator, buddy_size
+from repro.parpar.matrix import GangMatrix
+
+
+@settings(max_examples=80, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=16), max_size=30),
+       removals=st.lists(st.integers(min_value=0, max_value=29), max_size=15))
+def test_dhc_never_double_books_and_stays_aligned(sizes, removals):
+    matrix = GangMatrix(num_nodes=16, num_slots=8)
+    allocator = DHCAllocator(matrix)
+    placed = {}
+    for job_id, size in enumerate(sizes):
+        try:
+            slot, nodes = allocator.allocate(job_id, size)
+        except AllocationError:
+            continue
+        placed[job_id] = (slot, nodes, size)
+        # Buddy alignment: the nodes sit inside one aligned block.
+        block = min(buddy_size(size), matrix.num_nodes)
+        base = nodes[0]
+        assert base % block == 0
+        assert nodes == list(range(base, base + size))
+        # Matrix agrees cell by cell.
+        for node in nodes:
+            assert matrix.job_at(slot, node) == job_id
+    # Cells are exclusively owned.
+    seen = set()
+    for job_id, (slot, nodes, _) in placed.items():
+        for node in nodes:
+            assert (slot, node) not in seen
+            seen.add((slot, node))
+    # Random removals free exactly the right cells.
+    for idx in removals:
+        if idx in placed:
+            slot, nodes, _ = placed.pop(idx)
+            matrix.remove(idx)
+            for node in nodes:
+                assert matrix.job_at(slot, node) is None
+    # Utilization equals what is left.
+    used = sum(len(nodes) for (_slot, nodes, _s) in placed.values())
+    assert matrix.utilization() == used / (16 * 8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(size=st.integers(min_value=1, max_value=4096))
+def test_buddy_size_is_enclosing_power_of_two(size):
+    block = buddy_size(size)
+    assert block >= size
+    assert block & (block - 1) == 0  # power of two
+    assert block // 2 < size  # tight
+
+
+@settings(max_examples=50, deadline=None)
+@given(num_nodes=st.integers(min_value=1, max_value=16),
+       num_slots=st.integers(min_value=1, max_value=6),
+       sizes=st.lists(st.integers(min_value=1, max_value=16), max_size=20))
+def test_allocator_fills_at_most_capacity(num_nodes, num_slots, sizes):
+    matrix = GangMatrix(num_nodes, num_slots)
+    allocator = DHCAllocator(matrix)
+    total = 0
+    for job_id, size in enumerate(sizes):
+        try:
+            allocator.allocate(job_id, size)
+            total += size
+        except AllocationError:
+            pass
+    assert total <= num_nodes * num_slots
+    assert 0.0 <= matrix.utilization() <= 1.0

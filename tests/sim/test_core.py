@@ -1,0 +1,182 @@
+"""Unit tests for the DES kernel clock, events, and conditions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_run_empty_queue_is_noop(self, sim):
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_run_until_advances_clock_past_last_event(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_step_on_empty_queue_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, sim):
+        sim.timeout(3.0)
+        sim.timeout(1.5)
+        assert sim.peek() == pytest.approx(1.5)
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        fired = []
+        sim.timeout(2.5).add_callback(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_zero_delay_fires_at_now(self, sim):
+        fired = []
+        sim.timeout(0.0).add_callback(lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_carries_value(self, sim):
+        got = []
+        sim.timeout(1.0, value="payload").add_callback(lambda ev: got.append(ev.value))
+        sim.run()
+        assert got == ["payload"]
+
+    def test_fifo_order_for_simultaneous_events(self, sim):
+        order = []
+        for tag in "abc":
+            sim.timeout(1.0, value=tag).add_callback(lambda ev: order.append(ev.value))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvent:
+    def test_untriggered_state(self, sim):
+        ev = sim.event()
+        assert not ev.triggered and not ev.processed and ev.ok is None
+
+    def test_succeed_then_processed(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered and not ev.processed
+        sim.run()
+        assert ev.processed and ev.ok is True and ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_marks_not_ok(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        sim.run()
+        assert ev.ok is False
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_callback_after_processed_fires_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["x"]
+
+    def test_remove_callback(self, sim):
+        ev = sim.event()
+        got = []
+        cb = lambda e: got.append(1)
+        ev.add_callback(cb)
+        ev.remove_callback(cb)
+        ev.succeed()
+        sim.run()
+        assert got == []
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(1.0), sim.timeout(2.0)
+        done = []
+        sim.all_of([t1, t2]).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [2.0]
+
+    def test_any_of_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(1.0), sim.timeout(2.0)
+        done = []
+        sim.any_of([t1, t2]).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [1.0]
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        done = []
+        sim.all_of([]).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_all_of_collects_values(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        got = {}
+        sim.all_of([t1, t2]).add_callback(lambda ev: got.update(ev.value))
+        sim.run()
+        assert got == {t1: "a", t2: "b"}
+
+    def test_all_of_fails_if_member_fails(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        bad.fail(ValueError("nope"))
+        cond = sim.all_of([good, bad])
+        sim.run()
+        assert cond.ok is False
+
+
+class TestRunControls:
+    def test_run_until_processed_returns_value(self, sim):
+        assert sim.run_until_processed(sim.timeout(1.0, value=7)) == 7
+
+    def test_run_until_processed_detects_deadlock(self, sim):
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_processed(sim.event())
+
+    def test_max_events_guard(self, sim):
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(ticker())
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=10)
+
+    def test_processed_event_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.processed_events == 2

@@ -1,0 +1,33 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure5", "figure6", "figure7", "figure8", "figure9",
+                     "headline", "nicmem"):
+            assert name in out
+
+    def test_figure5_small(self, capsys):
+        assert main(["figure5", "--contexts", "1", "8",
+                     "--sizes", "4096", "--packets", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "4096" in out
+
+    def test_figure8_small(self, capsys):
+        assert main(["figure8", "--nodes", "2", "--switches", "2"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_figure6_small(self, capsys):
+        assert main(["figure6", "--jobs", "1", "2", "--sizes", "4096",
+                     "--quantum", "0.01"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-figure"])

@@ -1,0 +1,48 @@
+"""Bit-exact reproducibility: same configuration, same results.
+
+Everything in the simulation is deterministic — the event queue breaks
+ties FIFO, randomness flows only through seeded named streams — so two
+runs of the same scenario must agree on *every* observable, to the last
+cycle.  This is what makes the experiment tables trustworthy and the
+property tests replayable.
+"""
+
+from repro.parpar.cluster import ClusterConfig, ParParCluster
+from repro.parpar.job import JobSpec
+from repro.workloads.alltoall import alltoall_benchmark
+from repro.workloads.bandwidth import bandwidth_benchmark
+
+
+def run_scenario(seed=0):
+    cluster = ParParCluster(ClusterConfig(num_nodes=4, time_slots=2,
+                                          quantum=0.004, seed=seed))
+    j1 = cluster.submit(JobSpec("a2a", 4, alltoall_benchmark(60, 1100)))
+    j2 = cluster.submit(JobSpec("bw", 2, bandwidth_benchmark(300, 1400)))
+    cluster.run_until_finished([j1, j2])
+    fingerprint = {
+        "end_time": cluster.sim.now,
+        "events": cluster.sim.processed_events,
+        "switches": cluster.masterd.switches_completed,
+        "bw": j2.result_of(0).mbps,
+        "records": [
+            (r.node_id, r.sequence, r.halt_seconds, r.switch_seconds,
+             r.release_seconds, r.out_send_valid, r.out_recv_valid)
+            for r in cluster.recorder.records
+        ],
+        "busy": [node.cpu.busy_time for node in cluster.nodes],
+    }
+    return fingerprint
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_exact(self):
+        assert run_scenario(seed=0) == run_scenario(seed=0)
+
+    def test_seed_changes_control_network_jitter_only_slightly(self):
+        """A different seed perturbs broadcast skew but not the physics:
+        the job still finishes, with the same message counts."""
+        a = run_scenario(seed=0)
+        b = run_scenario(seed=1)
+        assert a["switches"] == b["switches"]
+        assert a != b  # the jitter did change *something*
+        assert abs(a["bw"] - b["bw"]) / a["bw"] < 0.05

@@ -1,0 +1,39 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_cycles_seconds_roundtrip(self):
+        assert units.cycles_to_seconds(200e6, 200e6) == pytest.approx(1.0)
+        assert units.seconds_to_cycles(0.0125, 200e6) == 2_500_000
+
+    def test_seconds_to_cycles_rounds(self):
+        assert units.seconds_to_cycles(1.4999999 / 200e6, 200e6) == 1
+        assert units.seconds_to_cycles(1.5000001 / 200e6, 200e6) == 2
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(10, 0)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, -5)
+
+    def test_mb_per_second(self):
+        assert units.mb_per_second(80_000_000, 1.0) == pytest.approx(80.0)
+        assert units.mb_per_second(100, 0.0) == 0.0
+
+    def test_transfer_time(self):
+        assert units.transfer_time(1_000_000, 80e6) == pytest.approx(0.0125)
+        with pytest.raises(ValueError):
+            units.transfer_time(100, 0)
+        with pytest.raises(ValueError):
+            units.transfer_time(-1, 100)
+
+    def test_size_constants(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024 ** 2
+        assert units.MB == 10 ** 6
+        assert units.MS == 1e-3
+        assert units.US == 1e-6
