@@ -1,0 +1,13 @@
+"""Performance benchmark harness (scripts, not pytest).
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py
+    PYTHONPATH=src python benchmarks/perf/bench_sweeps.py
+
+Each script prints a table and rewrites its ``BENCH_*.json`` at the repo
+root; the JSONs are committed so regressions show up in review diffs.
+The ``SEED_BASELINE`` constants are measurements of the pre-optimisation
+kernel (commit 369a02e) taken with the same interleaved best-of-N
+methodology on the same class of machine — see each script's docstring.
+"""

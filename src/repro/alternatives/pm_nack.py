@@ -55,11 +55,11 @@ class PMFirmware(LanaiFirmware):
         self.resends = 0
 
     # ------------------------------------------------------------------ sending
-    def _inject(self, packet: Packet):
+    def _inject(self, packet: Packet, pickup_time: float = 0.0):
         if packet.ptype is PacketType.DATA:
             self.outstanding += 1
             self._unacked[packet.seq] = packet
-        yield from super()._inject(packet)
+        yield from super()._inject(packet, pickup_time)
 
     def drain(self) -> Event:
         """Event that fires once every outstanding packet is (n)acked.
@@ -87,20 +87,20 @@ class PMFirmware(LanaiFirmware):
 
     # ------------------------------------------------------------------ receiving
     def _receive_one(self, packet: Packet):
+        # Per-packet processing time is slept by the base class's run
+        # loop before this is called (fused with the context-switch
+        # interrupt when one fires) — don't sleep it again here.
         if packet.ptype is PacketType.ACK:
-            yield self.sim.timeout(self.nic.spec.recv_process_time)
             self.acks_received += 1
             self._settle(packet.ack_seq)
             return
         if packet.ptype is PacketType.NACK:
-            yield self.sim.timeout(self.nic.spec.recv_process_time)
             self.nacks_received += 1
             rejected = self._settle(packet.ack_seq)
             self.sim.process(self._resend(rejected),
                              name=f"pm-resend-{self.nic.node_id}")
             return
         if packet.ptype is PacketType.DATA:
-            yield self.sim.timeout(self.nic.spec.recv_process_time)
             ctx = self._contexts.get(packet.job_id)
             if ctx is None or not ctx.is_active or ctx.recv_queue.is_full:
                 # No room (or no context): nack so the sender retries.

@@ -24,6 +24,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Regenerate figures from Etsion & Feitelson, IPPS 2001.",
     )
+    parser.add_argument("-j", "--jobs", dest="workers", type=int, default=1,
+                        metavar="N",
+                        help="run sweep points on N worker processes "
+                             "(before the subcommand; results are "
+                             "bit-identical to a serial run)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -52,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("headline", help="Sec 4.2 headline overhead bounds")
     sub.add_parser("nicmem", help="NIC memory sufficiency (Sec 4.1)")
+    sub.add_parser("perf", help="kernel performance smoke check")
     return parser
 
 
@@ -63,6 +69,7 @@ EXPERIMENTS = {
     "figure9": "Fig. 9  switch stage cycles vs nodes, valid-only copy",
     "headline": "Sec 4.2 headline overhead bounds",
     "nicmem": "Sec 4.1 NIC memory sufficiency",
+    "perf": "DES kernel performance smoke check",
 }
 
 
@@ -82,7 +89,8 @@ def main(argv=None) -> int:
         sizes = tuple(args.sizes) if args.sizes else FIG5_MESSAGE_SIZES
         points = run_figure5(contexts=tuple(args.contexts),
                              message_sizes=sizes,
-                             target_packets=args.packets)
+                             target_packets=args.packets,
+                             workers=args.workers)
         print(render_figure5(points))
         return 0
 
@@ -96,7 +104,7 @@ def main(argv=None) -> int:
         if args.quantum:
             kwargs["quantum"] = args.quantum
         points = run_figure6(jobs=tuple(args.jobs), message_sizes=sizes,
-                             **kwargs)
+                             workers=args.workers, **kwargs)
         print(render_figure6(points))
         return 0
 
@@ -106,7 +114,8 @@ def main(argv=None) -> int:
         from repro.experiments.report import render_switch_overheads
 
         runner = run_figure7 if args.command == "figure7" else run_figure9
-        points = runner(nodes=tuple(args.nodes), num_switches=args.switches)
+        points = runner(nodes=tuple(args.nodes), num_switches=args.switches,
+                        workers=args.workers)
         print(render_switch_overheads(points, args.command[-1]))
         return 0
 
@@ -115,7 +124,8 @@ def main(argv=None) -> int:
         from repro.experiments.report import render_figure8
 
         points = run_figure8(nodes=tuple(args.nodes),
-                             num_switches=args.switches)
+                             num_switches=args.switches,
+                             workers=args.workers)
         print(render_figure8(points))
         return 0
 
@@ -126,12 +136,17 @@ def main(argv=None) -> int:
         print(render_headline(run_headline_overheads()))
         return 0
 
+    if args.command == "perf":
+        from repro.sim.bench import run_smoke
+
+        return run_smoke()
+
     if args.command == "nicmem":
         from repro.experiments.nic_memory import (
             contexts_supported, knee_of, run_nic_memory_sweep)
         from repro.experiments.report import format_table
 
-        points = run_nic_memory_sweep()
+        points = run_nic_memory_sweep(workers=args.workers)
         knee = knee_of(points)
         rows = [(p.send_buffer_kib, p.credits, f"{p.mbps:.1f}",
                  "<- knee" if p is knee else "") for p in points]

@@ -6,12 +6,26 @@ hardware; a Python DES cannot, so every experiment takes a *scale* knob:
 of milliseconds rather than seconds.  Bandwidths are steady-state rates
 and switch costs are per-event, so the *shapes* are scale-invariant;
 EXPERIMENTS.md tabulates the scaling factor used for each figure.
+
+Sweeps fan out over independent data points, each a hermetic simulation
+(fresh :class:`~repro.sim.core.Simulator`, own config, own RNG streams),
+so :func:`run_points` can run them through a process pool: results are
+bit-identical to a serial run because nothing but the point's own
+arguments — including its :func:`point_seed`-derived RNG seed, which
+depends only on the point's identity, never on execution order — feeds
+the simulation.
 """
 
 from __future__ import annotations
 
+import hashlib
+from typing import Callable, Sequence, TypeVar
+
 from repro.errors import ConfigError
 from repro.fm.config import FMConfig
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 #: Message sizes for the Figure 5 sweep (its axis runs 1 byte to 64K).
@@ -34,3 +48,45 @@ def messages_for_size(config: FMConfig, message_bytes: int,
         raise ConfigError(f"target_packets must be positive, got {target_packets}")
     per_message = config.packets_for(message_bytes)
     return max(20, target_packets // per_message)
+
+
+def packets_for_messages(config: FMConfig, message_bytes: int, messages: int) -> int:
+    """Packets a point actually moves with ``messages`` messages.
+
+    :func:`messages_for_size` floors the message count at 20, so for large
+    messages the real packet volume can exceed ``target_packets`` by a
+    wide margin; result records carry this actual count rather than the
+    nominal target.
+    """
+    return messages * config.packets_for(message_bytes)
+
+
+def point_seed(root_seed: int, label: str) -> int:
+    """Derive a sweep point's RNG seed from the root seed and its identity.
+
+    Hash-derived (not sequential), so the seed depends only on *which*
+    point this is — adding, removing, reordering, or parallelising points
+    never changes any other point's stream.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def run_points(worker: Callable[[_T], _R], items: Sequence[_T],
+               workers: int = 1) -> list[_R]:
+    """Map ``worker`` over sweep ``items``, optionally in parallel.
+
+    ``workers <= 1`` runs serially in-process.  Otherwise the points run
+    in a :class:`~concurrent.futures.ProcessPoolExecutor`; results come
+    back in input order, and because every point is hermetic (see module
+    docstring) the output is bit-identical to the serial path.  ``worker``
+    and each item must be picklable, i.e. a module-level function applied
+    to plain-data arguments.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(worker, items))

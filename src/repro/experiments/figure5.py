@@ -17,7 +17,8 @@ from repro.fm.buffers import StaticPartition
 from repro.fm.config import FMConfig
 from repro.fm.harness import FMNetwork
 from repro.sim.core import Simulator
-from repro.experiments.common import FIG5_MESSAGE_SIZES, messages_for_size
+from repro.experiments.common import (FIG5_MESSAGE_SIZES, messages_for_size,
+                                      packets_for_messages, run_points)
 from repro.workloads.bandwidth import BandwidthResult, bandwidth_benchmark
 
 
@@ -30,6 +31,7 @@ class Figure5Point:
     c0: int
     mbps: float
     messages: int
+    packets_moved: int   # actual packet volume (>= the nominal target)
 
 
 def _measure_point(contexts: int, message_bytes: int, messages: int,
@@ -51,18 +53,26 @@ def _measure_point(contexts: int, message_bytes: int, messages: int,
         sim.run_until_processed(proc, max_events=200_000_000)
     result: BandwidthResult = results[0]
     return Figure5Point(contexts=contexts, message_bytes=message_bytes,
-                        c0=c0, mbps=result.mbps, messages=messages)
+                        c0=c0, mbps=result.mbps, messages=messages,
+                        packets_moved=packets_for_messages(config, message_bytes,
+                                                           messages))
+
+
+def _point_worker(args: tuple) -> Figure5Point:
+    """Picklable run_points worker: one (contexts, size) cell."""
+    return _measure_point(*args)
 
 
 def run_figure5(contexts: Sequence[int] = tuple(range(1, 9)),
                 message_sizes: Sequence[int] = FIG5_MESSAGE_SIZES,
                 target_packets: int = 1500,
-                num_processors: int = 16) -> list[Figure5Point]:
+                num_processors: int = 16,
+                workers: int = 1) -> list[Figure5Point]:
     """The full sweep: one point per (contexts, message size)."""
-    points = []
+    items = []
     for n in contexts:
         config = FMConfig(max_contexts=n, num_processors=num_processors)
         for size in message_sizes:
             messages = messages_for_size(config, size, target_packets)
-            points.append(_measure_point(n, size, messages, num_processors))
-    return points
+            items.append((n, size, messages, num_processors))
+    return run_points(_point_worker, items, workers=workers)

@@ -21,7 +21,7 @@ from repro.gluefm.switch import SwitchAlgorithm, ValidOnlyCopy
 from repro.metrics.bandwidth import BandwidthSample, aggregate_bandwidth
 from repro.parpar.cluster import ClusterConfig, ParParCluster
 from repro.parpar.job import JobSpec
-from repro.experiments.common import FIG6_MESSAGE_SIZES
+from repro.experiments.common import FIG6_MESSAGE_SIZES, point_seed, run_points
 from repro.workloads.bandwidth import bandwidth_benchmark
 
 
@@ -56,7 +56,8 @@ class Figure6Point:
 
 def _measure_point(jobs: int, message_bytes: int, messages: int,
                    quantum: float, num_processors: int,
-                   switch_algorithm: SwitchAlgorithm) -> Figure6Point:
+                   switch_algorithm: SwitchAlgorithm,
+                   seed: int = 0) -> Figure6Point:
     if jobs < 1:
         raise ConfigError(f"need at least one job, got {jobs}")
     # Two physical nodes; every job wants both, forcing one job per slot.
@@ -65,6 +66,7 @@ def _measure_point(jobs: int, message_bytes: int, messages: int,
     cluster = ParParCluster(ClusterConfig(
         num_nodes=2, time_slots=max(jobs, 1), quantum=quantum,
         buffer_switching=True, switch_algorithm=switch_algorithm, fm=fm,
+        seed=seed,
     ))
     workload = bandwidth_benchmark(messages, message_bytes)
     submitted = [cluster.submit(JobSpec(f"bw{i}", 2, workload))
@@ -87,19 +89,27 @@ def _measure_point(jobs: int, message_bytes: int, messages: int,
     )
 
 
+def _point_worker(args: tuple) -> Figure6Point:
+    """Picklable run_points worker: one (jobs, size) cell."""
+    return _measure_point(*args)
+
+
 def run_figure6(jobs: Sequence[int] = tuple(range(1, 9)),
                 message_sizes: Sequence[int] = FIG6_MESSAGE_SIZES,
                 quanta_per_job: float = 4.5,
                 quantum: float = 0.020,
                 num_processors: int = 16,
-                switch_algorithm: SwitchAlgorithm | None = None) -> list[Figure6Point]:
+                switch_algorithm: SwitchAlgorithm | None = None,
+                root_seed: int = 0,
+                workers: int = 1) -> list[Figure6Point]:
     """The full sweep: one point per (number of jobs, message size)."""
     algo = switch_algorithm if switch_algorithm is not None else ValidOnlyCopy()
-    points = []
+    items = []
     for njobs in jobs:
         fm = FMConfig(max_contexts=max(njobs, 1), num_processors=num_processors)
         for size in message_sizes:
             messages = _messages_for_quanta(fm, size, quantum, quanta_per_job)
-            points.append(_measure_point(njobs, size, messages, quantum,
-                                         num_processors, algo))
-    return points
+            seed = point_seed(root_seed, f"figure6:jobs={njobs}:size={size}")
+            items.append((njobs, size, messages, quantum, num_processors,
+                          algo, seed))
+    return run_points(_point_worker, items, workers=workers)

@@ -16,13 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.errors import SimulationError
 from repro.fm.config import FMConfig
 from repro.gluefm.switch import FullCopy, SwitchAlgorithm
 from repro.metrics.counters import StageTimings, SwitchRecorder
 from repro.metrics.occupancy import OccupancySummary, summarize_occupancy
 from repro.parpar.cluster import ClusterConfig, ParParCluster
 from repro.parpar.job import JobSpec
-from repro.experiments.common import NODE_SWEEP
+from repro.experiments.common import NODE_SWEEP, point_seed, run_points
 from repro.workloads.alltoall import alltoall_stream
 
 
@@ -43,7 +44,8 @@ def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
                      num_switches: int = 10,
                      message_bytes: int = 8192,
                      num_processors: int = 16,
-                     max_events: int = 400_000_000) -> SwitchOverheadPoint:
+                     max_events: int = 400_000_000,
+                     seed: int = 0) -> SwitchOverheadPoint:
     """Measure one cluster size with one switch algorithm.
 
     Two *endless* all-to-all jobs stream under the gang scheduler and the
@@ -57,17 +59,20 @@ def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
     cluster = ParParCluster(ClusterConfig(
         num_nodes=nodes, time_slots=2, quantum=quantum,
         buffer_switching=True, switch_algorithm=algorithm, fm=fm,
+        seed=seed,
     ))
     workload = alltoall_stream(until=float("inf"), message_bytes=message_bytes)
     for i in range(2):
         cluster.submit(JobSpec(f"a2a{i}", nodes, workload))
     sim = cluster.sim
-    budget = max_events
-    while cluster.masterd.switches_completed < num_switches:
-        if budget <= 0:
-            raise RuntimeError(f"switch sweep exceeded max_events={max_events}")
-        sim.step()
-        budget -= 1
+    done = cluster.masterd.switch_count_event(num_switches)
+    try:
+        sim.run_until_processed(done, max_events=max_events)
+    except SimulationError as exc:
+        if str(exc).startswith("exceeded max_events"):
+            raise RuntimeError(
+                f"switch sweep exceeded max_events={max_events}") from None
+        raise
 
     recorder: SwitchRecorder = cluster.recorder
     switched = recorder.with_outgoing_job()
@@ -86,16 +91,26 @@ def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
     )
 
 
+def _point_worker(args: tuple) -> SwitchOverheadPoint:
+    """Picklable run_points worker: one (nodes, algorithm) position."""
+    nodes, algorithm, quantum, num_switches, message_bytes, seed = args
+    return run_switch_point(nodes, algorithm, quantum=quantum,
+                            num_switches=num_switches,
+                            message_bytes=message_bytes, seed=seed)
+
+
 def run_switch_overheads(algorithm: SwitchAlgorithm,
                          nodes: Sequence[int] = NODE_SWEEP,
                          quantum: float = 0.012,
                          num_switches: int = 10,
-                         message_bytes: int = 8192) -> list[SwitchOverheadPoint]:
+                         message_bytes: int = 8192,
+                         root_seed: int = 0,
+                         workers: int = 1) -> list[SwitchOverheadPoint]:
     """The node sweep for one algorithm (Fig. 7: FullCopy, Fig. 9: ValidOnly)."""
-    return [run_switch_point(n, algorithm, quantum=quantum,
-                             num_switches=num_switches,
-                             message_bytes=message_bytes)
-            for n in nodes]
+    items = [(n, algorithm, quantum, num_switches, message_bytes,
+              point_seed(root_seed, f"switch:{algorithm.name}:nodes={n}"))
+             for n in nodes]
+    return run_points(_point_worker, items, workers=workers)
 
 
 def run_figure7(nodes: Sequence[int] = NODE_SWEEP, **kwargs) -> list[SwitchOverheadPoint]:

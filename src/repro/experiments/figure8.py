@@ -19,7 +19,7 @@ from typing import Sequence
 
 from repro.gluefm.switch import FullCopy, SwitchAlgorithm
 from repro.experiments.common import NODE_SWEEP
-from repro.experiments.figure7 import run_switch_point
+from repro.experiments.figure7 import run_switch_overheads
 
 
 @dataclass(frozen=True)
@@ -37,14 +37,16 @@ class OccupancyPoint:
 def run_figure8(nodes: Sequence[int] = NODE_SWEEP,
                 algorithm: SwitchAlgorithm | None = None,
                 **kwargs) -> list[OccupancyPoint]:
-    """The occupancy sweep (defaults to the Figure-7 full-copy runs)."""
+    """The occupancy sweep (defaults to the Figure-7 full-copy runs).
+
+    ``workers`` / ``root_seed`` pass through to the underlying node sweep.
+    """
     algo = algorithm if algorithm is not None else FullCopy()
     points = []
-    for n in nodes:
-        result = run_switch_point(n, algo, **kwargs)
+    for result in run_switch_overheads(algo, nodes=nodes, **kwargs):
         occ = result.occupancy
         points.append(OccupancyPoint(
-            nodes=n,
+            nodes=result.nodes,
             mean_send_valid=occ.mean_send,
             mean_recv_valid=occ.mean_recv,
             max_send_valid=occ.max_send,

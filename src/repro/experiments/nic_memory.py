@@ -21,6 +21,7 @@ from repro.fm.buffers import BufferPolicy, ContextGeometry
 from repro.fm.config import FMConfig
 from repro.fm.harness import FMNetwork
 from repro.sim.core import Simulator
+from repro.experiments.common import run_points
 from repro.units import KiB, mb_per_second
 
 
@@ -53,45 +54,56 @@ class NicMemoryPoint:
     mbps: float
 
 
+def _measure_point(send_kib: int, recv_kib: int, message_bytes: int,
+                   messages: int, num_processors: int) -> NicMemoryPoint:
+    """Bandwidth at one per-context buffer allotment (hermetic sim)."""
+    policy = ScaledBuffers(send_kib * KiB, recv_kib * KiB)
+    config = FMConfig(num_processors=num_processors)
+    geometry = policy.geometry(config)
+
+    sim = Simulator()
+    net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True)
+    sender, receiver = net.create_job(1, [0, 1], policy)
+    start = {}
+
+    def tx():
+        start["t"] = sim.now
+        for _ in range(messages):
+            yield from sender.library.send(1, message_bytes)
+
+    def rx():
+        yield from receiver.library.extract_messages(messages)
+
+    sim.process(tx())
+    done = sim.process(rx())
+    try:
+        sim.run_until_processed(done, max_events=100_000_000)
+        mbps = mb_per_second(messages * message_bytes, sim.now - start["t"])
+    except CreditError:
+        mbps = 0.0
+    return NicMemoryPoint(
+        send_buffer_kib=send_kib, recv_buffer_kib=recv_kib,
+        credits=geometry.initial_credits, mbps=mbps,
+    )
+
+
+def _point_worker(args: tuple) -> NicMemoryPoint:
+    """Picklable run_points worker: one buffer allotment."""
+    return _measure_point(*args)
+
+
 def run_nic_memory_sweep(
         send_sizes_kib: Sequence[int] = (16, 32, 64, 128, 192, 256, 320, 400),
         recv_to_send_ratio: float = 2.5,   # the paper's 1 MB : 400 KB
         message_bytes: int = 16384,
         messages: int = 200,
-        num_processors: int = 16) -> list[NicMemoryPoint]:
+        num_processors: int = 16,
+        workers: int = 1) -> list[NicMemoryPoint]:
     """Bandwidth as a function of the per-context buffer allotment."""
-    points = []
-    for send_kib in send_sizes_kib:
-        recv_kib = int(send_kib * recv_to_send_ratio)
-        policy = ScaledBuffers(send_kib * KiB, recv_kib * KiB)
-        config = FMConfig(num_processors=num_processors)
-        geometry = policy.geometry(config)
-
-        sim = Simulator()
-        net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True)
-        sender, receiver = net.create_job(1, [0, 1], policy)
-        start = {}
-
-        def tx():
-            start["t"] = sim.now
-            for _ in range(messages):
-                yield from sender.library.send(1, message_bytes)
-
-        def rx():
-            yield from receiver.library.extract_messages(messages)
-
-        sim.process(tx())
-        done = sim.process(rx())
-        try:
-            sim.run_until_processed(done, max_events=100_000_000)
-            mbps = mb_per_second(messages * message_bytes, sim.now - start["t"])
-        except CreditError:
-            mbps = 0.0
-        points.append(NicMemoryPoint(
-            send_buffer_kib=send_kib, recv_buffer_kib=recv_kib,
-            credits=geometry.initial_credits, mbps=mbps,
-        ))
-    return points
+    items = [(send_kib, int(send_kib * recv_to_send_ratio),
+              message_bytes, messages, num_processors)
+             for send_kib in send_sizes_kib]
+    return run_points(_point_worker, items, workers=workers)
 
 
 def knee_of(points: Sequence[NicMemoryPoint], fraction: float = 0.95) -> NicMemoryPoint:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.gluefm.switch import FullCopy, SwitchAlgorithm, ValidOnlyCopy
+from repro.experiments.common import point_seed, run_points
 from repro.experiments.figure7 import run_switch_point
 
 
@@ -35,19 +36,32 @@ class QuantumPoint:
 
 def measure_switch_cost(algorithm: SwitchAlgorithm, nodes: int = 16,
                         measure_quantum: float = 0.012,
-                        num_switches: int = 8) -> float:
+                        num_switches: int = 8,
+                        seed: int = 0) -> float:
     """Mean three-stage cost per switch [s] under all-to-all load."""
     point = run_switch_point(nodes, algorithm, quantum=measure_quantum,
-                             num_switches=num_switches)
+                             num_switches=num_switches, seed=seed)
     return point.mean_cycles.total / point.clock_hz
 
 
+def _cost_worker(args: tuple) -> float:
+    """Picklable run_points worker: one algorithm's switch cost."""
+    algorithm, nodes, seed = args
+    return measure_switch_cost(algorithm, nodes=nodes, seed=seed)
+
+
 def run_quantum_sweep(quanta: Sequence[float] = (0.1, 0.3, 1.0, 3.0, 10.0),
-                      nodes: int = 16) -> list[QuantumPoint]:
+                      nodes: int = 16,
+                      root_seed: int = 0,
+                      workers: int = 1) -> list[QuantumPoint]:
     """Duty-cycle loss per quantum for both switch algorithms."""
+    algorithms = (FullCopy(), ValidOnlyCopy())
+    items = [(algo, nodes,
+              point_seed(root_seed, f"quantum:{algo.name}:nodes={nodes}"))
+             for algo in algorithms]
+    costs = run_points(_cost_worker, items, workers=workers)
     points = []
-    for algorithm in (FullCopy(), ValidOnlyCopy()):
-        cost = measure_switch_cost(algorithm, nodes=nodes)
+    for algorithm, cost in zip(algorithms, costs):
         for quantum in quanta:
             points.append(QuantumPoint(
                 algorithm=algorithm.name, quantum=quantum,

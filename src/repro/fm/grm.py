@@ -78,7 +78,7 @@ class GlobalResourceManager:
             src, message = yield self._requests.get()
             if message[0] == "register":
                 if self.service_time > 0:
-                    yield self.sim.timeout(self.service_time)
+                    yield self.service_time
                 _, job_name, node_ids, ids_event, all_up_event = message
                 self._register(src, job_name, tuple(node_ids), ids_event,
                                all_up_event)

@@ -33,7 +33,7 @@ NIC_CONTROL_TYPES = frozenset({PacketType.HALT, PacketType.READY})
 _seq_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One wire packet.
 
@@ -58,6 +58,10 @@ class Packet:
     tag: int = 0                     # application message tag (MPI layer)
     payload_obj: object = None       # opaque app payload (last fragment)
     seq: int = field(default_factory=lambda: next(_seq_counter))
+    #: Bytes occupied on the wire (and in a buffer slot).  Derived from
+    #: the payload once at construction — the send/receive/transmit paths
+    #: each read it per packet, so it must be a plain attribute.
+    size_bytes: int = field(init=False, repr=False, compare=False)
 
     HEADER_BYTES = 24
     CONTROL_BYTES = 16
@@ -71,6 +75,10 @@ class Packet:
             raise ConfigError(
                 f"fragment index {self.frag_index} out of range for count {self.frag_count}"
             )
+        if self.ptype is PacketType.DATA:
+            self.size_bytes = self.HEADER_BYTES + self.payload_bytes
+        else:
+            self.size_bytes = self.CONTROL_BYTES
 
     @property
     def is_data(self) -> bool:
@@ -79,13 +87,6 @@ class Packet:
     @property
     def is_nic_control(self) -> bool:
         return self.ptype in NIC_CONTROL_TYPES
-
-    @property
-    def size_bytes(self) -> int:
-        """Bytes occupied on the wire (and in a buffer slot)."""
-        if self.ptype is PacketType.DATA:
-            return self.HEADER_BYTES + self.payload_bytes
-        return self.CONTROL_BYTES
 
     @property
     def is_last_fragment(self) -> bool:

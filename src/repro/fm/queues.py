@@ -85,19 +85,21 @@ class PacketQueue:
     # -- mutation ------------------------------------------------------------
     def append(self, packet: Packet) -> None:
         """Enqueue; raises :class:`BufferOverflowError` when full."""
-        if self.is_full:
+        items = self._items
+        if len(items) >= self.capacity:
             raise BufferOverflowError(
                 f"queue {self.name!r} overflow: capacity {self.capacity} packets"
             )
-        self._items.append(packet)
+        items.append(packet)
         self.total_appended += 1
-        if len(self._items) > self.peak_occupancy:
-            self.peak_occupancy = len(self._items)
+        occupancy = len(items)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         if self._getters:
-            getter = self._getters.popleft()
-            getter.succeed(self._pop())
-        while self._nonempty_waiters and self._items:
-            self._nonempty_waiters.popleft().succeed()
+            self._getters.popleft().succeed(self._pop())
+        waiters = self._nonempty_waiters
+        while waiters and items:
+            waiters.popleft().succeed()
         for fn in self._nonempty_callbacks:
             fn()
 
@@ -109,12 +111,25 @@ class PacketQueue:
         return packet
 
     def try_pop(self) -> Optional[Packet]:
-        """Non-blocking dequeue; None when empty."""
-        if not self._items:
+        """Non-blocking dequeue; None when empty.
+
+        The firmware send scan and FM_extract call this once per packet;
+        the body inlines :meth:`_pop` (keep the two in sync).
+        """
+        items = self._items
+        if not items:
             return None
         if self._getters:
             raise SimulationError(f"queue {self.name!r}: mixing try_pop with pending get()")
-        return self._pop()
+        packet = items.popleft()
+        self.total_removed += 1
+        waiters = self._space_waiters
+        if waiters and len(items) < self.capacity:
+            # Level-triggered: release everyone while a slot is free (the
+            # waiters re-check fullness before appending).
+            while waiters:
+                waiters.popleft().succeed()
+        return packet
 
     def get(self) -> Event:
         """Blocking dequeue: event succeeds with the next packet.

@@ -30,9 +30,10 @@ class CpuSpec:
 class HostCPU:
     """One host processor.
 
-    ``execute(cycles)`` / ``busy(seconds)`` return events that complete
-    after the corresponding busy time.  Total busy time is accumulated so
-    experiments can report utilisation.  The model does not arbitrate
+    ``execute(cycles)`` / ``busy(seconds)`` account the work and return
+    the busy duration for a simulated process to yield (sleep) on;
+    ``busy_event`` wraps it in an event when callbacks are needed.  Total
+    busy time is accumulated so experiments can report utilisation.  The model does not arbitrate
     between contenders — under gang scheduling exactly one user process
     runs per node, and the daemons only work while that process is
     stopped, so contention never arises in the modelled scenarios.
@@ -53,14 +54,23 @@ class HostCPU:
         return cycles_to_seconds(cycles, self.spec.clock_hz)
 
     # -- work ---------------------------------------------------------------
-    def busy(self, seconds: float) -> Timeout:
-        """Occupy the CPU for ``seconds``; returns the completion event."""
+    def busy(self, seconds: float) -> float:
+        """Occupy the CPU for ``seconds``; returns the busy duration.
+
+        Yield the return value from a simulated process to wait it out
+        (the kernel sleeps on bare numbers); use :meth:`busy_event` when
+        an actual Event is needed for callbacks or conditions.
+        """
         if seconds < 0:
             raise ConfigError(f"negative busy time {seconds}")
         self.busy_time += seconds
-        return self.sim.timeout(seconds)
+        return seconds
 
-    def execute(self, cycles: float) -> Timeout:
+    def busy_event(self, seconds: float) -> Timeout:
+        """Occupy the CPU for ``seconds``; returns the completion event."""
+        return self.sim.timeout(self.busy(seconds))
+
+    def execute(self, cycles: float) -> float:
         """Occupy the CPU for ``cycles`` of work."""
         return self.busy(self.seconds(cycles))
 

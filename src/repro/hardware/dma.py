@@ -45,14 +45,22 @@ class DmaEngine:
             raise ConfigError(f"negative DMA size {nbytes}")
         return self.spec.setup_time + nbytes / self.spec.bandwidth
 
-    def transfer(self, nbytes: int) -> Timeout:
-        """Start a transfer; the returned event fires at completion.
+    def request(self, nbytes: int) -> float:
+        """Start a transfer; returns the delay until it completes.
 
         Back-to-back requests queue behind each other (single engine).
+        The return value is meant to be yielded from a simulated process
+        (the kernel's bare-number sleep); :meth:`transfer` wraps it in an
+        event for callers that need callbacks.
         """
-        start = max(self.sim.now, self._free_at)
+        now = self.sim.now
+        start = max(now, self._free_at)
         done = start + self.transfer_time(nbytes)
         self._free_at = done
         self.bytes_moved += nbytes
         self.transfers += 1
-        return self.sim.timeout(done - self.sim.now)
+        return done - now
+
+    def transfer(self, nbytes: int) -> Timeout:
+        """Start a transfer; the returned event fires at completion."""
+        return self.sim.timeout(self.request(nbytes))

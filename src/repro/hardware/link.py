@@ -16,7 +16,14 @@ from repro.units import US
 
 @dataclass(frozen=True)
 class LinkSpec:
-    """One Myrinet link / switch traversal."""
+    """One Myrinet link / switch traversal.
+
+    All range checks happen once, at construction: the per-packet methods
+    :meth:`wire_time` and :meth:`latency` are branch-free arithmetic on
+    the fast path.  **Invariant** (validated by callers, not here): packet
+    sizes are non-negative — guaranteed by ``Packet.__post_init__`` — and
+    hop counts are non-negative — validated by ``MyrinetFabric.__init__``.
+    """
 
     bandwidth: float = 160e6        # bytes/s: 1.28 Gb/s full duplex
     propagation: float = 0.5 * US   # cable + cut-through fall-through
@@ -27,15 +34,20 @@ class LinkSpec:
             raise ConfigError("link bandwidth must be positive")
         if self.propagation < 0 or self.switch_latency < 0:
             raise ConfigError("link latencies must be >= 0")
+        # Precomputed reciprocal: one multiply per packet instead of a
+        # divide (frozen dataclass, hence object.__setattr__).
+        object.__setattr__(self, "inv_bandwidth", 1.0 / self.bandwidth)
 
     def wire_time(self, nbytes: int) -> float:
-        """Serialisation time of ``nbytes`` on the link."""
-        if nbytes < 0:
-            raise ConfigError(f"negative packet size {nbytes}")
-        return nbytes / self.bandwidth
+        """Serialisation time of ``nbytes`` on the link.
+
+        ``nbytes`` must be >= 0 (see class invariant); not rechecked here.
+        """
+        return nbytes * self.inv_bandwidth
 
     def latency(self, hops: int = 1) -> float:
-        """Fall-through latency across ``hops`` switches."""
-        if hops < 0:
-            raise ConfigError(f"negative hop count {hops}")
+        """Fall-through latency across ``hops`` switches.
+
+        ``hops`` must be >= 0 (see class invariant); not rechecked here.
+        """
         return self.propagation + hops * self.switch_latency

@@ -27,14 +27,25 @@ from repro.sim.core import Event, Simulator
 
 
 class MyrinetFabric:
-    """Moves packets between registered NICs with realistic timing."""
+    """Moves packets between registered NICs with realistic timing.
+
+    The per-packet path (:meth:`transmit`) is branch-minimal: the hop
+    count is validated and the path latency and bandwidth reciprocal are
+    precomputed here, at construction, so moving a packet is a handful of
+    multiplies and dict lookups.
+    """
 
     def __init__(self, sim: Simulator, link: LinkSpec = LinkSpec(), hops: int = 1):
+        if hops < 0:
+            raise RoutingError(f"negative hop count {hops}")
         self.sim = sim
         self.link = link
         self.hops = hops
+        self._wire_inv = link.inv_bandwidth
+        self._path_latency = link.latency(hops)
         self._nics: dict[int, MyrinetNIC] = {}
         self._rx_free_at: dict[int, float] = {}
+        self._deliver_cbs: dict[int, Callable] = {}
         self.packets_moved: int = 0
         self.bytes_moved: int = 0
         # Optional observer for tests/traces: fn(packet, depart, arrive).
@@ -46,6 +57,7 @@ class MyrinetFabric:
             raise RoutingError(f"node {nic.node_id} already on the fabric")
         self._nics[nic.node_id] = nic
         self._rx_free_at[nic.node_id] = 0.0
+        self._deliver_cbs[nic.node_id] = nic.deliver_event
 
     def unregister(self, node_id: int) -> None:
         """Remove a node (COMM_remove_node topology update)."""
@@ -53,6 +65,7 @@ class MyrinetFabric:
             raise RoutingError(f"node {node_id} not on the fabric")
         del self._nics[node_id]
         del self._rx_free_at[node_id]
+        del self._deliver_cbs[node_id]
 
     @property
     def node_ids(self) -> list[int]:
@@ -67,7 +80,7 @@ class MyrinetFabric:
     # -- data movement ------------------------------------------------------
     def injection_time(self, nbytes: int) -> float:
         """How long the sending card is busy injecting one packet."""
-        return self.link.wire_time(nbytes)
+        return nbytes * self._wire_inv
 
     def transmit(self, src: int, dst: int, packet) -> Event:
         """Launch ``packet`` from src to dst; returns the *arrival* event.
@@ -82,20 +95,28 @@ class MyrinetFabric:
             raise RoutingError(f"node {src} attempted to transmit to itself")
         if src not in self._nics:
             raise RoutingError(f"source node {src} not on the fabric")
-        dst_nic = self.nic(dst)
+        try:
+            deliver_cb = self._deliver_cbs[dst]
+        except KeyError:
+            raise RoutingError(f"node {dst} not on the fabric") from None
 
         nbytes = packet.size_bytes
-        wire = self.link.wire_time(nbytes)
-        earliest = self.sim.now + self.link.latency(self.hops)
+        now = self.sim.now
+        earliest = now + self._path_latency
         # Destination link busy until _rx_free_at: fan-in serialisation.
-        deliver_at = max(earliest, self._rx_free_at[dst]) + wire
+        busy = self._rx_free_at[dst]
+        if busy > earliest:
+            earliest = busy
+        deliver_at = earliest + nbytes * self._wire_inv
         self._rx_free_at[dst] = deliver_at
 
         self.packets_moved += 1
         self.bytes_moved += nbytes
         if self.observer is not None:
-            self.observer(packet, self.sim.now, deliver_at)
+            self.observer(packet, now, deliver_at)
 
-        arrival = self.sim.timeout(deliver_at - self.sim.now, value=packet)
-        arrival.add_callback(lambda _ev: dst_nic.deliver(packet))
+        # The arrival event carries the packet; the NIC's pre-bound
+        # delivery callback reads it off the event — no per-packet closure.
+        arrival = self.sim.timeout(deliver_at - now, value=packet)
+        arrival.callbacks.append(deliver_cb)
         return arrival

@@ -106,3 +106,11 @@ class MyrinetNIC:
         if self.firmware is None:
             raise HardwareError(f"NIC {self.node_id}: packet arrived before firmware load")
         self.firmware.on_packet_arrival(packet)
+
+    def deliver_event(self, event) -> None:
+        """Event-callback form of :meth:`deliver`: the arrival event's
+        value is the packet.  Registered once per NIC by the fabric so the
+        per-packet path needs no closure allocation."""
+        if self.firmware is None:
+            raise HardwareError(f"NIC {self.node_id}: packet arrived before firmware load")
+        self.firmware.on_packet_arrival(event._value)

@@ -144,17 +144,30 @@ class ParParCluster:
 
     def run_until_finished(self, jobs: Sequence[ParallelJob],
                            max_events: int = 200_000_000) -> None:
-        """Advance the simulation until every listed job is retired."""
+        """Advance the simulation until every listed job is retired.
+
+        Drives the kernel through :meth:`Simulator.run_until_processed`
+        (the inlined hot loop) rather than per-event ``step()`` calls —
+        the difference is ~2x wall-clock on a large cluster run.
+        """
         remaining = max_events
         for job in jobs:
             event = self.masterd.done_event(job.job_id)
-            while not event.processed:
-                if not self.sim._queue:
-                    raise SimulationError("cluster went idle before jobs finished")
-                if remaining <= 0:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                self.sim.step()
-                remaining -= 1
+            if event.processed:
+                continue
+            before = self.sim.processed_events
+            try:
+                self.sim.run_until_processed(event, max_events=remaining)
+            except SimulationError as exc:
+                message = str(exc)
+                if "deadlock" in message:
+                    raise SimulationError(
+                        "cluster went idle before jobs finished") from None
+                if message.startswith("exceeded max_events"):
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}") from None
+                raise
+            remaining -= self.sim.processed_events - before
 
     def run_for(self, seconds: float, max_events: int = 200_000_000) -> None:
         """Advance the simulation by ``seconds`` of simulated time."""

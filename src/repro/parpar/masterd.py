@@ -52,6 +52,7 @@ class MasterDaemon:
         self._switch_seq = 0
         self._switch_acks: set[int] = set()
         self._switch_event: Optional[Event] = None
+        self._switch_watchers: list[tuple[int, Event]] = []
         self._loaded_events: dict[int, Event] = {}
         self._end_acks: dict[int, set[int]] = {}
         self._end_events: dict[int, Event] = {}
@@ -93,7 +94,7 @@ class MasterDaemon:
 
     def _quantum_timer(self):
         while True:
-            yield self.sim.timeout(self.quantum)
+            yield self.quantum
             if self._rotation_paused:
                 continue
             if not self._switch_queued:
@@ -170,6 +171,14 @@ class MasterDaemon:
         yield self._switch_event
         self.active_slot = nxt
         self.switches_completed += 1
+        if self._switch_watchers:
+            ripe = [w for w in self._switch_watchers
+                    if w[0] <= self.switches_completed]
+            if ripe:
+                self._switch_watchers = [w for w in self._switch_watchers
+                                         if w[0] > self.switches_completed]
+                for _, watcher in ripe:
+                    watcher.succeed(self.switches_completed)
 
     def _on_switch_done(self, sequence: int, node_id: int) -> None:
         if sequence != self._switch_seq:
@@ -214,3 +223,17 @@ class MasterDaemon:
             return self._done_events[job_id]
         except KeyError:
             raise SchedulingError(f"masterd: unknown job {job_id}") from None
+
+    def switch_count_event(self, count: int) -> Event:
+        """Event that fires when ``switches_completed`` reaches ``count``.
+
+        Lets drivers wait for N rotations through the kernel's fast run
+        loop instead of polling the counter with per-event ``step()``
+        calls.  Fires immediately if the count has already been reached.
+        """
+        watcher = Event(self.sim)
+        if self.switches_completed >= count:
+            watcher.succeed(self.switches_completed)
+        else:
+            self._switch_watchers.append((count, watcher))
+        return watcher

@@ -1,0 +1,126 @@
+"""Microbenchmarks for the DES kernel hot paths.
+
+Each benchmark builds a fresh :class:`~repro.sim.core.Simulator`, drives it
+through ``n`` iterations of one event pattern, and reports throughput in
+processed events per second.  The patterns cover the kernel's distinct
+dispatch paths:
+
+``sleep``
+    one process yielding bare-number delays — the canonical simulation
+    idiom (every hardware/firmware model sleeps this way) and the fast
+    path the kernel optimises hardest;
+``timeout``
+    the same loop through explicit :meth:`Simulator.timeout` events,
+    exercising the Timeout free-list;
+``chain``
+    callback-driven timeouts with no process involved (pure
+    ``add_callback`` dispatch);
+``churn``
+    processes yielding already-succeeded events (immediate-fire path).
+
+The functions are imported both by ``python -m repro perf`` (a quick
+assert-only smoke check) and by ``benchmarks/perf/bench_kernel.py``
+(the full JSON-emitting harness).  Wall-clock numbers are measured with
+GC left as the caller configured it; the harness disables GC, the smoke
+check does not bother.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.sim.core import Simulator
+
+
+def bench_sleep(n: int) -> float:
+    """Events/sec for one process yielding bare-number delays."""
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield 1.0
+
+    p = sim.process(proc())
+    t0 = time.perf_counter()
+    sim.run_until_processed(p)
+    return sim.processed_events / (time.perf_counter() - t0)
+
+
+def bench_timeout(n: int) -> float:
+    """Events/sec for one process yielding explicit Timeout events."""
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    t0 = time.perf_counter()
+    sim.run_until_processed(p)
+    return sim.processed_events / (time.perf_counter() - t0)
+
+
+def bench_chain(n: int) -> float:
+    """Events/sec for a process-free callback chain of timeouts."""
+    sim = Simulator()
+    state = {"left": n}
+
+    def cb(ev):
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.timeout(1.0).add_callback(cb)
+
+    sim.timeout(1.0).add_callback(cb)
+    t0 = time.perf_counter()
+    sim.run()
+    return sim.processed_events / (time.perf_counter() - t0)
+
+
+def bench_churn(n: int) -> float:
+    """Events/sec for a process yielding already-succeeded events."""
+    sim = Simulator()
+
+    def producer():
+        for _ in range(n):
+            ev = sim.event()
+            ev.succeed(1)
+            yield ev
+
+    p = sim.process(producer())
+    t0 = time.perf_counter()
+    sim.run_until_processed(p)
+    return sim.processed_events / (time.perf_counter() - t0)
+
+
+#: name -> benchmark function, in reporting order.
+KERNEL_BENCHMARKS: dict[str, Callable[[int], float]] = {
+    "sleep": bench_sleep,
+    "timeout": bench_timeout,
+    "chain": bench_chain,
+    "churn": bench_churn,
+}
+
+
+def run_smoke(n: int = 50_000, min_events_per_sec: float = 100_000.0) -> int:
+    """Quick assert-only health check for ``python -m repro perf``.
+
+    Runs every kernel benchmark once at a small ``n`` and fails (exit
+    code 1) if any pattern falls below a floor that even a cold
+    interpreter on a loaded CI box clears by an order of magnitude.
+    The point is catching catastrophic regressions (an accidentally
+    quadratic queue, tracing left enabled), not measuring — use
+    ``benchmarks/perf/bench_kernel.py`` for numbers.
+    """
+    failed = False
+    for name, fn in KERNEL_BENCHMARKS.items():
+        rate = max(fn(n) for _ in range(2))
+        status = "ok" if rate >= min_events_per_sec else "FAIL"
+        if rate < min_events_per_sec:
+            failed = True
+        print(f"  {name:<8} {rate:>12,.0f} events/s  [{status}]")
+    if failed:
+        print(f"perf smoke FAILED: floor is {min_events_per_sec:,.0f} events/s")
+        return 1
+    print("perf smoke passed")
+    return 0

@@ -3,16 +3,54 @@
 The kernel is deterministic: events scheduled for the same instant are
 processed in scheduling order (FIFO), using a monotonically increasing
 sequence number as the tie-breaker in the heap.
+
+Performance notes (the kernel is the hot path of every experiment):
+
+- :meth:`Simulator.run` and friends keep the heap, ``heappush``/``heappop``
+  and the clock in local variables and dispatch callbacks inline instead
+  of paying a method call per event.
+- The overwhelmingly common waiter — a single simulated process parked on
+  the event — is stored in a dedicated ``_waiter`` slot and its generator
+  is resumed *inline* by the run loop, skipping the generic callback-list
+  machinery and one Python call per event.  Dispatch order is preserved:
+  the waiter slot is only used when the callback list is empty at wait
+  time, so "waiter first, then list" equals registration order.
+- :class:`Timeout` objects are recycled through a free list: a timeout
+  that nothing else references once its callbacks have run is reset and
+  reused by the next :meth:`Simulator.timeout` call, cutting allocation
+  churn on per-packet paths.  Recycling is guarded by CPython's reference
+  counts, so an object is only ever reused when no caller can observe it.
 """
 
 from __future__ import annotations
 
-import heapq
+import platform
+import sys
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 
 _UNSET = object()
+
+# Timeout recycling needs exact reference counts; only CPython has them.
+_IS_CPYTHON = platform.python_implementation() == "CPython"
+_getrefcount = sys.getrefcount if _IS_CPYTHON else None
+_FREE_LIST_CAP = 512
+
+
+class _SleepWake:
+    """Stand-in 'event' delivered to a process woken from a bare-number
+    sleep (``yield delay``): always successful, carries no value.  Lets the
+    suspend/defer/resume machinery treat sleep wake-ups like event
+    wake-ups without materialising a real Event."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_SLEEP_WAKE = _SleepWake()
 
 
 class Event:
@@ -23,15 +61,21 @@ class Event:
     when the kernel processes it, all registered callbacks run and the
     event becomes *processed*.  Yielding an event from a process generator
     suspends the process until the event is processed.
+
+    ``_waiter`` is the kernel-internal fast slot: it holds at most one
+    :class:`~repro.sim.process.Process` parked on this event (set by the
+    process itself, and only while the callback list is empty, which
+    keeps dispatch order identical to plain ``add_callback`` use).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_waiter")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[list] = []
         self._value: Any = _UNSET
         self._ok: Optional[bool] = None
+        self._waiter = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -62,7 +106,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._post(self)
+        sim = self.sim
+        heappush(sim._queue, (sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -73,7 +119,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
-        self.sim._post(self)
+        sim = self.sim
+        heappush(sim._queue, (sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -87,11 +135,20 @@ class Event:
             self.callbacks.append(fn)
 
     def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        w = self._waiter
+        if w is not None and (fn is w or getattr(fn, "__self__", None) is w):
+            # The waiter parks either itself or its bound _step here.
+            self._waiter = None
+            return
         if self.callbacks is not None and fn in self.callbacks:
             self.callbacks.remove(fn)
 
     def _run_callbacks(self) -> None:
+        """Generic (non-inlined) dispatch; kept for external callers."""
         callbacks, self.callbacks = self.callbacks, None
+        waiter, self._waiter = self._waiter, None
+        if waiter is not None:
+            waiter._step(self)
         for fn in callbacks:
             fn(self)
 
@@ -101,18 +158,25 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` seconds after creation."""
+    """An event that triggers ``delay`` seconds after creation.
+
+    Prefer :meth:`Simulator.timeout`, which recycles processed instances
+    through a free list instead of allocating a fresh object per call.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._post(self, delay)
+        self._waiter = None
+        self.delay = delay
+        heappush(sim._queue, (sim._now + delay, sim._seq, self))
+        sim._seq += 1
 
 
 class _Condition(Event):
@@ -168,11 +232,14 @@ class AllOf(_Condition):
 class Simulator:
     """The event loop: a clock plus a priority queue of triggered events."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_processed_count", "_free_timeouts")
+
     def __init__(self):
         self._now: float = 0.0
         self._queue: list = []
         self._seq: int = 0
         self._processed_count: int = 0
+        self._free_timeouts: list = []
 
     # -- clock ------------------------------------------------------------
     @property
@@ -182,7 +249,11 @@ class Simulator:
 
     @property
     def processed_events(self) -> int:
-        """Total number of events processed so far (for diagnostics)."""
+        """Total number of events processed so far (for diagnostics).
+
+        Inside the batched run loops this is refreshed when the loop
+        exits, not per event — read it between runs, not from callbacks.
+        """
         return self._processed_count
 
     # -- event construction -------------------------------------------------
@@ -191,7 +262,24 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        Reuses a recycled :class:`Timeout` when one is available; the
+        recycled object is indistinguishable from a fresh one (recycling
+        only happens when no other reference to it exists).
+        """
+        free = self._free_timeouts
+        if free:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay}")
+            t = free.pop()
+            t.delay = delay
+            t._ok = True
+            t._value = value
+            seq = self._seq
+            heappush(self._queue, (self._now + delay, seq, t))
+            self._seq = seq + 1
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> "Process":
@@ -209,7 +297,7 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
     def _post(self, event: Event, delay: float = 0.0) -> None:
         """Insert a triggered event into the queue ``delay`` from now."""
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
 
     def peek(self) -> float:
@@ -217,13 +305,40 @@ class Simulator:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (or sleeping-process wake-up)."""
+        from repro.sim.process import Process
+
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
+        when, seq, event = heappop(self._queue)
         self._now = when
         self._processed_count += 1
-        event._run_callbacks()
+        if event.__class__ is Process:
+            # A Process in the heap is either a bare-number sleep entry
+            # (valid iff its token matches this entry's seq), the
+            # process's own termination event, or a stale sleep left by
+            # an interrupt (skipped; seed semantics popped the orphaned
+            # timeout the same way).
+            if event._sleep_token == seq:
+                event._step(_SLEEP_WAKE)
+                return
+            if event._event_seq != seq:
+                return
+        callbacks = event.callbacks
+        event.callbacks = None
+        waiter, event._waiter = event._waiter, None
+        if waiter is not None:
+            waiter._step(event)
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+        if (event.__class__ is Timeout and _getrefcount is not None
+                and _getrefcount(event) == 2
+                and len(self._free_timeouts) < _FREE_LIST_CAP):
+            event._value = None
+            callbacks.clear()
+            event.callbacks = callbacks
+            self._free_timeouts.append(event)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or event budget.
@@ -231,31 +346,273 @@ class Simulator:
         ``until`` is an absolute simulated time; on return ``now`` equals
         ``until`` if the horizon was hit, else the time of the last event.
         ``max_events`` guards against runaway simulations.
+
+        The loop body dispatches events inline; the single-process-waiter
+        case resumes the waiting generator without leaving this frame —
+        see ``Process._step``, whose semantics the fast path mirrors
+        exactly (and falls back to for every non-trivial case).  The same
+        body appears in :meth:`run_until_processed`; keep them in sync.
         """
+        from repro.sim.process import Process
+
+        queue = self._queue
+        pop = heappop
+        push = heappush
+        free = self._free_timeouts
+        refcount = _getrefcount
+        timeout_cls = Timeout
+        event_cls = Event
+        proc_cls = Process
+        unset = _UNSET
+        wake = _SLEEP_WAKE
+        cap = _FREE_LIST_CAP
+        checked = until is not None or max_events is not None
         budget = max_events if max_events is not None else float("inf")
         count = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return
-            if count >= budget:
-                raise SimulationError(f"run() exceeded max_events={max_events}")
-            self.step()
-            count += 1
+        processed = self._processed_count
+        try:
+            while queue:
+                if checked:
+                    if until is not None and queue[0][0] > until:
+                        self._now = until
+                        return
+                    if count >= budget:
+                        raise SimulationError(f"run() exceeded max_events={max_events}")
+                    count += 1
+                when, seq, event = pop(queue)
+                self._now = when
+                processed += 1
+                if event.__class__ is proc_cls:
+                    # A Process in the heap: a bare-number sleep entry
+                    # (valid iff token matches), the process's own
+                    # termination event, or a stale sleep left behind by
+                    # an interrupt (skipped, but counted — seed popped
+                    # the orphaned timeout the same way).
+                    if event._sleep_token == seq:
+                        if event._suspended:
+                            event._step(wake)  # defers until resume()
+                            continue
+                        try:
+                            nxt = event._gen.send(None)
+                        except StopIteration as stop:
+                            event.succeed(stop.value)
+                            continue
+                        except BaseException as exc:
+                            if event.callbacks or event._waiter is not None:
+                                event.fail(exc)
+                                continue
+                            raise
+                        ncls = nxt.__class__
+                        if ncls is float or ncls is int:
+                            if nxt < 0:
+                                raise SimulationError(
+                                    f"process {event.name!r} yielded a negative sleep {nxt}")
+                            sseq = self._seq
+                            push(queue, (when + nxt, sseq, event))
+                            event._sleep_token = sseq
+                            self._seq = sseq + 1
+                        elif isinstance(nxt, event_cls) and nxt.sim is self:
+                            event._target = nxt
+                            ncbs = nxt.callbacks
+                            if ncbs is None:
+                                event._step(nxt)
+                            elif nxt._waiter is None and not ncbs:
+                                nxt._waiter = event
+                            else:
+                                ncbs.append(event._step_cb)
+                        else:
+                            event._wait_on(nxt)
+                        continue
+                    if event._event_seq != seq:
+                        continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    # -- inline Process._step fast path --------------------
+                    if (waiter.__class__ is proc_cls and event._ok
+                            and not waiter._suspended and waiter._value is unset):
+                        waiter._target = None
+                        try:
+                            nxt = waiter._gen.send(event._value)
+                        except StopIteration as stop:
+                            waiter.succeed(stop.value)
+                        except BaseException as exc:
+                            if waiter.callbacks or waiter._waiter is not None:
+                                waiter.fail(exc)
+                            else:
+                                raise
+                        else:
+                            ncls = nxt.__class__
+                            if ncls is float or ncls is int:
+                                if nxt < 0:
+                                    raise SimulationError(
+                                        f"process {waiter.name!r} yielded a negative sleep {nxt}")
+                                sseq = self._seq
+                                push(queue, (when + nxt, sseq, waiter))
+                                waiter._sleep_token = sseq
+                                self._seq = sseq + 1
+                            elif isinstance(nxt, event_cls) and nxt.sim is self:
+                                waiter._target = nxt
+                                ncbs = nxt.callbacks
+                                if ncbs is None:
+                                    waiter._step(nxt)
+                                elif nxt._waiter is None and not ncbs:
+                                    nxt._waiter = waiter
+                                else:
+                                    ncbs.append(waiter._step_cb)
+                            else:
+                                waiter._wait_on(nxt)
+                    else:
+                        waiter._step(event)
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for fn in callbacks:
+                            fn(event)
+                if (event.__class__ is timeout_cls and refcount is not None
+                        and refcount(event) == 2 and len(free) < cap):
+                    # Unreferenced once processed: recycle the object and
+                    # its (already-emptied) callbacks list.
+                    event._value = None
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    free.append(event)
+        finally:
+            self._processed_count = processed
         if until is not None and until > self._now:
             self._now = until
 
     def run_until_processed(self, event: Event, max_events: Optional[int] = None) -> Any:
-        """Run until ``event`` is processed; returns its value (raises on fail)."""
-        budget = max_events if max_events is not None else float("inf")
+        """Run until ``event`` is processed; returns its value (raises on fail).
+
+        Same inline dispatch as :meth:`run` — keep the loop bodies in sync.
+        """
+        from repro.sim.process import Process
+
+        watch = event
+        queue = self._queue
+        pop = heappop
+        push = heappush
+        free = self._free_timeouts
+        refcount = _getrefcount
+        timeout_cls = Timeout
+        event_cls = Event
+        proc_cls = Process
+        unset = _UNSET
+        wake = _SLEEP_WAKE
+        cap = _FREE_LIST_CAP
+        budget = max_events
         count = 0
-        while not event.processed:
-            if not self._queue:
-                raise SimulationError("event queue drained before event triggered (deadlock?)")
-            if count >= budget:
-                raise SimulationError(f"exceeded max_events={max_events}")
-            self.step()
-            count += 1
-        if event._ok is False:
-            raise event._value
-        return event._value
+        processed = self._processed_count
+        try:
+            while watch.callbacks is not None:
+                if not queue:
+                    raise SimulationError(
+                        "event queue drained before event triggered (deadlock?)")
+                if budget is not None:
+                    if count >= budget:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    count += 1
+                when, seq, ev = pop(queue)
+                self._now = when
+                processed += 1
+                if ev.__class__ is proc_cls:
+                    # See run(): sleep entry, termination event, or stale.
+                    if ev._sleep_token == seq:
+                        if ev._suspended:
+                            ev._step(wake)  # defers until resume()
+                            continue
+                        try:
+                            nxt = ev._gen.send(None)
+                        except StopIteration as stop:
+                            ev.succeed(stop.value)
+                            continue
+                        except BaseException as exc:
+                            if ev.callbacks or ev._waiter is not None:
+                                ev.fail(exc)
+                                continue
+                            raise
+                        ncls = nxt.__class__
+                        if ncls is float or ncls is int:
+                            if nxt < 0:
+                                raise SimulationError(
+                                    f"process {ev.name!r} yielded a negative sleep {nxt}")
+                            sseq = self._seq
+                            push(queue, (when + nxt, sseq, ev))
+                            ev._sleep_token = sseq
+                            self._seq = sseq + 1
+                        elif isinstance(nxt, event_cls) and nxt.sim is self:
+                            ev._target = nxt
+                            ncbs = nxt.callbacks
+                            if ncbs is None:
+                                ev._step(nxt)
+                            elif nxt._waiter is None and not ncbs:
+                                nxt._waiter = ev
+                            else:
+                                ncbs.append(ev._step_cb)
+                        else:
+                            ev._wait_on(nxt)
+                        continue
+                    if ev._event_seq != seq:
+                        continue
+                callbacks = ev.callbacks
+                ev.callbacks = None
+                waiter = ev._waiter
+                if waiter is not None:
+                    ev._waiter = None
+                    # -- inline Process._step fast path --------------------
+                    if (waiter.__class__ is proc_cls and ev._ok
+                            and not waiter._suspended and waiter._value is unset):
+                        waiter._target = None
+                        try:
+                            nxt = waiter._gen.send(ev._value)
+                        except StopIteration as stop:
+                            waiter.succeed(stop.value)
+                        except BaseException as exc:
+                            if waiter.callbacks or waiter._waiter is not None:
+                                waiter.fail(exc)
+                            else:
+                                raise
+                        else:
+                            ncls = nxt.__class__
+                            if ncls is float or ncls is int:
+                                if nxt < 0:
+                                    raise SimulationError(
+                                        f"process {waiter.name!r} yielded a negative sleep {nxt}")
+                                sseq = self._seq
+                                push(queue, (when + nxt, sseq, waiter))
+                                waiter._sleep_token = sseq
+                                self._seq = sseq + 1
+                            elif isinstance(nxt, event_cls) and nxt.sim is self:
+                                waiter._target = nxt
+                                ncbs = nxt.callbacks
+                                if ncbs is None:
+                                    waiter._step(nxt)
+                                elif nxt._waiter is None and not ncbs:
+                                    nxt._waiter = waiter
+                                else:
+                                    ncbs.append(waiter._step_cb)
+                            else:
+                                waiter._wait_on(nxt)
+                    else:
+                        waiter._step(ev)
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](ev)
+                    else:
+                        for fn in callbacks:
+                            fn(ev)
+                if (ev.__class__ is timeout_cls and refcount is not None
+                        and refcount(ev) == 2 and len(free) < cap):
+                    ev._value = None
+                    callbacks.clear()
+                    ev.callbacks = callbacks
+                    free.append(ev)
+        finally:
+            self._processed_count = processed
+        if watch._ok is False:
+            raise watch._value
+        return watch._value

@@ -1,9 +1,17 @@
 """Generator-based simulated processes.
 
 A :class:`Process` drives a Python generator: each value the generator
-yields must be an :class:`~repro.sim.core.Event`; the process sleeps until
-that event is processed and is then resumed with the event's value (or the
-event's exception is thrown into it).
+yields must be an :class:`~repro.sim.core.Event` — or a bare number,
+meaning "sleep that many seconds".  The process sleeps until the event is
+processed and is then resumed with the event's value (or the event's
+exception is thrown into it).
+
+``yield delay`` is the fast form of ``yield sim.timeout(delay)``: the
+process is parked directly in the event heap (no Timeout object, no
+callback list), tagged with the heap entry's sequence number so a stale
+entry left behind by an interrupt is recognised and skipped.  Both forms
+consume exactly one sequence number and wake at the same (time, seq) heap
+position, so they are interchangeable without perturbing event order.
 
 Beyond the usual DES process semantics, this class supports
 ``suspend()``/``resume()``, which model POSIX SIGSTOP/SIGCONT: the ParPar
@@ -11,14 +19,22 @@ Beyond the usual DES process semantics, this class supports
 and continues it after the buffer switch.  While suspended a process makes
 no progress; a wake-up event that fires during suspension is *deferred* and
 delivered when the process is resumed.
+
+The wake-up path (``_step``) is the single hottest function of the
+simulator after the event loop itself, so the common resume-and-yield
+cycle is written without property lookups or intermediate calls, and each
+process registers one pre-bound callback (``_step_cb``) instead of
+materialising a new bound method per yield.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from heapq import heappush
+
 from repro.errors import InterruptError, SimulationError
-from repro.sim.core import Event, Simulator
+from repro.sim.core import _UNSET, Event, Simulator
 
 
 class Process(Event):
@@ -30,7 +46,8 @@ class Process(Event):
     the exception propagates out of the simulation loop to aid debugging).
     """
 
-    __slots__ = ("name", "_gen", "_target", "_suspended", "_deferred", "_pending_interrupt")
+    __slots__ = ("name", "_gen", "_target", "_suspended", "_deferred",
+                 "_pending_interrupt", "_step_cb", "_sleep_token", "_event_seq")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -42,16 +59,36 @@ class Process(Event):
         self._suspended = False
         self._deferred: Optional[Event] = None
         self._pending_interrupt: Optional[list] = None
-        # Kick off at the current instant (but not synchronously).
-        init = Event(sim)
-        init.add_callback(self._step)
-        init.succeed()
+        self._step_cb = self._step  # one bound method, reused for every wait
+        self._event_seq = -1   # seq of our termination entry in the heap
+        # Kick off at the current instant (but not synchronously), parked
+        # directly in the heap like a zero-second sleep: the run loop
+        # resumes us with send(None), which starts the generator.
+        seq = sim._seq
+        heappush(sim._queue, (sim._now, seq, self))
+        sim._seq = seq + 1
+        self._sleep_token = seq
+
+    # A Process is pushed into the heap more than once (sleep entries plus
+    # its own termination event), so the termination entry records its seq
+    # and the run loop dispatches it only at the matching entry.
+    def succeed(self, value: Any = None) -> "Process":
+        seq = self.sim._seq
+        Event.succeed(self, value)
+        self._event_seq = seq
+        return self
+
+    def fail(self, exc: BaseException) -> "Process":
+        seq = self.sim._seq
+        Event.fail(self, exc)
+        self._event_seq = seq
+        return self
 
     # -- state --------------------------------------------------------------
     @property
     def is_alive(self) -> bool:
         """True while the generator has not terminated."""
-        return not self.triggered
+        return self._value is _UNSET
 
     @property
     def is_suspended(self) -> bool:
@@ -68,7 +105,7 @@ class Process(Event):
 
         Idempotent.  May only be called from outside the process itself.
         """
-        if not self.is_alive:
+        if self._value is not _UNSET:
             return
         self._suspended = True
 
@@ -78,7 +115,7 @@ class Process(Event):
         Delivery happens at the current simulated instant but through the
         event queue, preserving deterministic ordering.
         """
-        if not self.is_alive or not self._suspended:
+        if self._value is not _UNSET or not self._suspended:
             self._suspended = False
             return
         self._suspended = False
@@ -101,7 +138,7 @@ class Process(Event):
         If the process is suspended, the interrupt is deferred and delivered
         on resume — a stopped process cannot run signal handlers either.
         """
-        if not self.is_alive:
+        if self._value is not _UNSET:
             return False
         if self._suspended:
             if self._pending_interrupt is None:
@@ -117,30 +154,62 @@ class Process(Event):
         poke.succeed()
 
     def _deliver_interrupt(self, cause: Any) -> None:
-        if not self.is_alive:
+        if self._value is not _UNSET:
             return
         # Detach from whatever we were waiting on; the old event may still
-        # fire later but must no longer wake us.
-        if self._target is not None:
-            self._target.remove_callback(self._step)
+        # fire later but must no longer wake us.  A pending bare-number
+        # sleep is invalidated by the token (its heap entry pops as stale).
+        self._sleep_token = -1
+        target = self._target
+        if target is not None:
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                target.remove_callback(self._step_cb)
             self._target = None
         self._advance(InterruptError(cause), throw=True)
 
     # -- generator driving ------------------------------------------------------
-    def _step(self, event: Optional[Event]) -> None:
-        """Callback: the event we were waiting on has been processed."""
-        if not self.is_alive:
+    def _step(self, event: Optional[Event], _unset=_UNSET) -> None:
+        """Callback: the event we were waiting on has been processed.
+
+        Fast path only — failure delivery goes through :meth:`_advance`.
+        The wait-on logic of :meth:`_wait_on` is inlined here (and kept in
+        sync) because this function runs once per processed event.
+        """
+        if self._value is not _unset:  # generator already terminated
             return
         if self._suspended:
             self._deferred = event
             return
         self._target = None
-        if event is None:
-            self._advance(None, throw=False)
-        elif event._ok:
-            self._advance(event._value, throw=False)
-        else:
+        if event is not None and not event._ok:
             self._advance(event._value, throw=True)
+            return
+        try:
+            nxt = self._gen.send(None if event is None else event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if self.callbacks or self._waiter is not None:
+                self.fail(exc)
+                return
+            raise
+        # -- inlined _wait_on ------------------------------------------------
+        if isinstance(nxt, Event) and nxt.sim is self.sim:
+            self._target = nxt
+            callbacks = nxt.callbacks
+            if callbacks is None:  # already processed: wake immediately
+                self._step(nxt)
+            elif nxt._waiter is None and not callbacks:
+                # Sole waiter so far: take the fast slot (order-preserving,
+                # since the callback list is empty at registration time).
+                nxt._waiter = self
+            else:
+                callbacks.append(self._step_cb)
+        else:
+            self._wait_on(nxt)  # slow path: raises the right error
 
     def _advance(self, value: Any, throw: bool) -> None:
         try:
@@ -155,10 +224,30 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            if self.callbacks:
+            if self.callbacks or self._waiter is not None:
                 self.fail(exc)
                 return
             raise
+        self._wait_on(nxt)
+
+    def _wait_on(self, nxt: Any) -> None:
+        """Park the process on whatever the generator just yielded."""
+        cls = nxt.__class__
+        if cls is float or cls is int:
+            # Bare-number sleep: park directly in the heap (subclasses
+            # fall back to a real Timeout so the run loop's exact-class
+            # dispatch stays correct for them).
+            if nxt < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative sleep {nxt}")
+            if type(self) is Process:
+                sim = self.sim
+                seq = sim._seq
+                heappush(sim._queue, (sim._now + nxt, seq, self))
+                sim._seq = seq + 1
+                self._sleep_token = seq
+                return
+            nxt = self.sim.timeout(nxt)
         if not isinstance(nxt, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {nxt!r}; processes must yield Events"
@@ -166,7 +255,13 @@ class Process(Event):
         if nxt.sim is not self.sim:
             raise SimulationError(f"process {self.name!r} yielded an event from another simulator")
         self._target = nxt
-        nxt.add_callback(self._step)
+        callbacks = nxt.callbacks
+        if callbacks is None:  # already processed: wake immediately
+            self._step(nxt)
+        elif nxt._waiter is None and not callbacks:
+            nxt._waiter = self
+        else:
+            callbacks.append(self._step_cb)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "dead" if not self.is_alive else ("suspended" if self._suspended else "alive")

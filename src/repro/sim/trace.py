@@ -32,6 +32,11 @@ class Tracer:
 
     ``kinds`` restricts recording to an allow-list, which keeps hot-path
     tracing (per-packet events) out of long experiment runs.
+
+    Truthiness is the O(1) hot-path guard: models write
+    ``if tracer: tracer.record(...)`` so that when no recorder is attached
+    (the :class:`NullTracer` default, which is always falsy) a per-packet
+    trace point costs a single boolean check — no call, no kwargs dict.
     """
 
     def __init__(self, clock: Callable[[], float], enabled: bool = True,
@@ -40,6 +45,9 @@ class Tracer:
         self.enabled = enabled
         self.kinds = kinds
         self.records: list[TraceRecord] = []
+
+    def __bool__(self) -> bool:
+        return self.enabled
 
     def record(self, kind: str, **fields: Any) -> None:
         if not self.enabled:
@@ -71,10 +79,16 @@ class Tracer:
 
 
 class NullTracer(Tracer):
-    """A tracer that drops everything (used as a default)."""
+    """A tracer that drops everything (used as a default).
+
+    Always falsy, so ``if tracer:`` guards skip record() calls entirely.
+    """
 
     def __init__(self):
         super().__init__(clock=lambda: 0.0, enabled=False)
+
+    def __bool__(self) -> bool:
+        return False
 
     def record(self, kind: str, **fields: Any) -> None:  # pragma: no cover
         return

@@ -53,7 +53,7 @@ def _run_pattern(ep: Endpoint, rounds: int, destinations, message_bytes: int,
             yield from lib.send(peer, message_bytes)
             sent += 1
         if quiet_time > 0:
-            yield lib.sim.timeout(quiet_time)
+            yield quiet_time
         yield from _drain_pending(lib, tally)
     for peer in peers:
         yield from lib.send(peer, FENCE_BYTES)

@@ -12,17 +12,17 @@ from repro.metrics.occupancy import OccupancySummary
 
 def fig5_points():
     return [Figure5Point(contexts=1, message_bytes=1024, c0=41, mbps=57.3,
-                         messages=100),
+                         messages=100, packets_moved=100),
             Figure5Point(contexts=8, message_bytes=1024, c0=0, mbps=0.0,
-                         messages=100)]
+                         messages=100, packets_moved=100)]
 
 
 class TestToCsv:
     def test_flat_dataclass(self):
         text = to_csv(fig5_points())
         lines = text.strip().splitlines()
-        assert lines[0] == "contexts,message_bytes,c0,mbps,messages"
-        assert lines[1] == "1,1024,41,57.3,100"
+        assert lines[0] == "contexts,message_bytes,c0,mbps,messages,packets_moved"
+        assert lines[1] == "1,1024,41,57.3,100,100"
         assert lines[2].startswith("8,1024,0,0.0")
 
     def test_nested_dataclasses_flatten_with_dots(self):

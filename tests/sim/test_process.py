@@ -54,11 +54,56 @@ class TestLifecycle:
 
     def test_yielding_non_event_raises(self, sim):
         def bad():
-            yield 42
+            yield "not an event"
 
         sim.process(bad())
         with pytest.raises(SimulationError, match="must yield Events"):
             sim.run()
+
+    def test_yield_number_sleeps(self, sim):
+        log = []
+
+        def sleeper():
+            yield 1.5
+            log.append(sim.now)
+            yield 2  # ints sleep too
+            log.append(sim.now)
+
+        sim.process(sleeper())
+        sim.run()
+        assert log == [1.5, 3.5]
+
+    def test_yield_negative_sleep_rejected(self, sim):
+        def bad():
+            yield -0.5
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="negative sleep"):
+            sim.run()
+
+    def test_interrupt_during_number_sleep(self, sim):
+        from repro.errors import InterruptError
+        log = []
+
+        def sleeper():
+            try:
+                yield 10.0
+            except InterruptError as e:
+                log.append((sim.now, e.cause))
+                yield 1.0
+            log.append(sim.now)
+
+        p = sim.process(sleeper())
+
+        def poker():
+            yield 2.0
+            p.interrupt("wake")
+
+        sim.process(poker())
+        sim.run()
+        assert log == [(2.0, "wake"), 3.0]
+        # The stale sleep entry at t=10 pops harmlessly.
+        assert sim.now == 10.0
 
     def test_uncaught_exception_propagates_when_unwatched(self, sim):
         def bad():

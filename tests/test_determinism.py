@@ -46,3 +46,27 @@ class TestDeterminism:
         assert a["switches"] == b["switches"]
         assert a != b  # the jitter did change *something*
         assert abs(a["bw"] - b["bw"]) / a["bw"] < 0.05
+
+
+class TestParallelDeterminism:
+    """The parallel sweep executor must be an implementation detail:
+    same root seed => byte-identical result records, serial or pooled."""
+
+    def test_figure6_serial_repeatable_and_parallel_identical(self):
+        from repro.experiments.figure6 import run_figure6
+
+        kwargs = dict(jobs=[1, 2], message_sizes=(384, 6144),
+                      quanta_per_job=2.0, root_seed=11)
+        serial_a = run_figure6(workers=1, **kwargs)
+        serial_b = run_figure6(workers=1, **kwargs)
+        parallel = run_figure6(workers=2, **kwargs)
+        assert serial_a == serial_b
+        assert serial_a == parallel
+
+    def test_root_seed_reaches_the_points(self):
+        from repro.experiments.figure6 import run_figure6
+
+        kwargs = dict(jobs=[2], message_sizes=(384,), quanta_per_job=2.0)
+        a = run_figure6(root_seed=0, **kwargs)
+        b = run_figure6(root_seed=1, **kwargs)
+        assert a != b  # broadcast-skew jitter drew from different streams
