@@ -58,6 +58,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("headline", help="Sec 4.2 headline overhead bounds")
     sub.add_parser("nicmem", help="NIC memory sufficiency (Sec 4.1)")
     sub.add_parser("perf", help="kernel performance smoke check")
+
+    pc = sub.add_parser("chaos", help="fault-injection campaign + safety audit")
+    pc.add_argument("--seed", type=int, default=0)
+    pc.add_argument("--runs", type=int, default=1,
+                    help="independent seeded runs (fan out with -j)")
+    pc.add_argument("--nodes", type=int, default=4)
+    pc.add_argument("--slots", type=int, default=2)
+    pc.add_argument("--chaos-jobs", type=int, default=2, dest="chaos_jobs",
+                    help="gang-scheduled all-to-all jobs (<= slots)")
+    pc.add_argument("--rounds", type=int, default=30)
+    pc.add_argument("--size", type=int, default=1024,
+                    help="all-to-all message size in bytes")
+    pc.add_argument("--quantum", type=float, default=0.004)
+    pc.add_argument("--drop", type=float, default=0.0)
+    pc.add_argument("--dup", type=float, default=0.0)
+    pc.add_argument("--corrupt", type=float, default=0.0)
+    pc.add_argument("--jitter", type=float, default=0.0)
+    pc.add_argument("--sram", type=float, default=0.0,
+                    help="SRAM bit flips per second per node")
+    pc.add_argument("--stall", type=float, default=0.0,
+                    help="per-switch daemon stall probability")
+    pc.add_argument("--crash", type=float, default=0.0,
+                    help="per-switch daemon crash probability")
+    pc.add_argument("--no-audit", action="store_true",
+                    help="inject faults without the invariant auditor")
+    pc.add_argument("--smoke", action="store_true",
+                    help="fast CI preset; exits non-zero on any violation")
     return parser
 
 
@@ -70,6 +97,7 @@ EXPERIMENTS = {
     "headline": "Sec 4.2 headline overhead bounds",
     "nicmem": "Sec 4.1 NIC memory sufficiency",
     "perf": "DES kernel performance smoke check",
+    "chaos": "fault-injection campaign with no-loss/no-dup safety audit",
 }
 
 
@@ -140,6 +168,36 @@ def main(argv=None) -> int:
         from repro.sim.bench import run_smoke
 
         return run_smoke()
+
+    if args.command == "chaos":
+        import json
+
+        from repro.faults.chaos import ChaosPoint, run_chaos_campaign
+
+        point = ChaosPoint(
+            seed=args.seed, nodes=args.nodes, time_slots=args.slots,
+            jobs=args.chaos_jobs, quantum=args.quantum, rounds=args.rounds,
+            message_bytes=args.size, drop=args.drop, dup=args.dup,
+            corrupt=args.corrupt, jitter=args.jitter, sram=args.sram,
+            stall=args.stall, crash=args.crash, audit=not args.no_audit,
+        )
+        if args.smoke:
+            # CI preset: every fault model lit, small cluster, < 60 s.
+            point = ChaosPoint(
+                seed=args.seed, nodes=4, time_slots=2, jobs=2,
+                quantum=0.004, rounds=10, message_bytes=1024,
+                drop=0.02, dup=0.01, corrupt=0.005, jitter=0.05,
+                sram=200.0, stall=0.05, crash=0.02,
+                audit=not args.no_audit,
+            )
+        results = run_chaos_campaign(point, runs=args.runs,
+                                     workers=args.workers)
+        print(json.dumps(results if args.runs > 1 else results[0], indent=2))
+        if point.audit:
+            bad = [r for r in results
+                   if r.get("error") or not r["audit"]["ok"]]
+            return 1 if bad else 0
+        return 0
 
     if args.command == "nicmem":
         from repro.experiments.nic_memory import (

@@ -1,0 +1,39 @@
+"""Fault injection, reliability, and invariant auditing.
+
+The subsystem that stresses the paper's safety claim: seed-driven fault
+models (:mod:`~repro.faults.model`, :mod:`~repro.faults.injector`), a
+retry/timeout/backoff reliability layer for the FM firmware
+(:mod:`~repro.faults.retransmit`), an end-to-end invariant auditor
+(:mod:`~repro.faults.audit`), and the chaos-campaign driver behind
+``python -m repro chaos`` (:mod:`~repro.faults.chaos`).
+"""
+
+from repro.faults.audit import AuditReport, InvariantAuditor, credit_leaks
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSpec
+from repro.faults.retransmit import ReliableFirmware, RetransmitPolicy
+
+_LAZY = {"ChaosPoint", "run_chaos_campaign", "run_chaos_point"}
+
+
+def __getattr__(name):
+    # chaos imports parpar.cluster, which imports this package — resolve
+    # the campaign entry points lazily to keep the import graph acyclic.
+    if name in _LAZY:
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AuditReport",
+    "ChaosPoint",
+    "FaultInjector",
+    "FaultSpec",
+    "InvariantAuditor",
+    "ReliableFirmware",
+    "RetransmitPolicy",
+    "credit_leaks",
+    "run_chaos_campaign",
+    "run_chaos_point",
+]

@@ -1,0 +1,91 @@
+"""Fault model parameters.
+
+The paper's safety claim — the three-stage switch protocol "withstood
+thorough testing without packet loss" — is only meaningful against an
+adversary.  :class:`FaultSpec` is that adversary's configuration: a
+frozen, validated bundle of per-packet fault probabilities (link layer),
+an SRAM bit-flip rate (NIC layer), and per-switch daemon disruption
+probabilities (parpar layer).  All randomness is drawn from named
+:class:`~repro.sim.rand.RandomStreams`, so a campaign is exactly
+reproducible from its seed.
+
+Only DATA and ACK packets are *faultable* at the link layer.  The
+HALT/READY packets of the flush protocol and explicit REFILL packets are
+exempt: the real protocols this models run them over mechanisms the
+fault campaign does not attack (the paper's flush counts halts over a
+lossless control path), and losing one would wedge the flush barrier or
+leak credits with no recovery protocol in scope — the interesting
+falsifiable property is the *data-path* no-loss/no-duplication claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seed-driven fault rates for one chaos campaign."""
+
+    #: Per-transmission probability a faultable packet vanishes in the
+    #: switch (arrives nowhere, consumes no receive-side wire time).
+    drop_rate: float = 0.0
+    #: Per-transmission probability a faultable packet is delivered twice
+    #: (a switch-level retransmission artefact).
+    dup_rate: float = 0.0
+    #: Per-transmission probability the delivered bytes are corrupted
+    #: (fails the receiver's CRC check).  Combined with any nonzero
+    #: ``LinkSpec.bit_error_rate`` into a per-packet probability.
+    corrupt_rate: float = 0.0
+    #: Per-transmission probability of an extra fall-through delay
+    #: (applies to *all* packet types; never reorders — see
+    #: ``MyrinetFabric._transmit_faulty``).
+    jitter_rate: float = 0.0
+    #: Maximum extra delay when jitter fires (uniform in [0, max)).
+    jitter_max: float = 20 * US
+    #: SRAM bit flips per second per node; each flip corrupts one queued
+    #: send descriptor on the card.
+    sram_flip_rate: float = 0.0
+    #: Per-switch probability the node daemon stalls (scheduling glitch)
+    #: before running the three-stage protocol.
+    daemon_stall_rate: float = 0.0
+    #: Per-switch probability the daemon crashes and is restarted before
+    #: the switch proceeds.
+    daemon_crash_rate: float = 0.0
+    #: Maximum stall when one fires (uniform in [0, max)).
+    daemon_stall_max: float = 0.004
+    #: Fixed cost of restarting a crashed daemon (CPU busy time).
+    daemon_restart_time: float = 500 * US
+
+    def __post_init__(self):
+        for name in ("drop_rate", "dup_rate", "corrupt_rate", "jitter_rate",
+                     "daemon_stall_rate", "daemon_crash_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {value}")
+        if self.drop_rate + self.dup_rate + self.corrupt_rate > 1.0:
+            raise ConfigError("drop+dup+corrupt rates must not exceed 1")
+        if self.daemon_stall_rate + self.daemon_crash_rate > 1.0:
+            raise ConfigError("stall+crash rates must not exceed 1")
+        for name in ("jitter_max", "sram_flip_rate", "daemon_stall_max",
+                     "daemon_restart_time"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+
+    @property
+    def link_faults(self) -> bool:
+        """Any per-packet fault enabled at the fabric?"""
+        return (self.drop_rate > 0 or self.dup_rate > 0
+                or self.corrupt_rate > 0 or self.jitter_rate > 0)
+
+    @property
+    def daemon_faults(self) -> bool:
+        return self.daemon_stall_rate > 0 or self.daemon_crash_rate > 0
+
+    @property
+    def enabled(self) -> bool:
+        """Any fault model active at all?"""
+        return self.link_faults or self.sram_flip_rate > 0 or self.daemon_faults

@@ -1,0 +1,249 @@
+"""Retry/timeout/backoff reliability layer for the FM firmware.
+
+Generalises the PM transport's nack-driven resend
+(:mod:`repro.alternatives.pm_nack`) into the positive-ack form a lossy
+network needs: the sending NIC keeps a host-side copy of every
+outstanding DATA packet and an exponential-backoff ack timer; the
+receiving NIC acks every accepted packet, discards corrupted ones
+silently (a failed CRC), and deduplicates by sequence number so that
+switch-level duplicates and spurious retransmits (a lost ack) never
+reach the application twice.
+
+Interplay with the paper's machinery, which this layer must not break:
+
+- **Flow control**: a retransmitted clone carries the same
+  ``piggyback_refill`` as the original, but dedup-by-seq guarantees the
+  refill is applied exactly once — which is precisely why
+  ``CreditState.on_refill`` can keep treating overflow as a protocol
+  error (see its docstring).
+- **Buffer switching**: a retransmit that falls due while the context is
+  STORED is *parked* rather than appended to the stored send queue —
+  appending would change the queue contents behind the backing store's
+  fingerprint and trip the integrity check.  Parked packets drain when
+  the context is next installed.
+- **Flush protocol**: acks travel through the firmware control outbox
+  (like HALT/READY they bypass the halt bit), so a halted node can still
+  settle its peers' timers; retransmit clones go through the ordinary
+  send queue and therefore honour the halt bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.fm.context import ContextState
+from repro.fm.firmware import LanaiFirmware
+from repro.fm.packet import Packet, PacketType
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Ack-timeout schedule: ``timeout * backoff**(attempt-1)``, capped."""
+
+    timeout: float = 2000 * US     # base ack timeout (covers RTT + queueing)
+    backoff: float = 2.0           # exponential growth per retry
+    max_timeout: float = 0.05      # cap on any single wait
+    max_retries: int = 10          # transmissions before declaring the peer dead
+
+    def timeout_for(self, attempt: int) -> float:
+        """Ack timeout after the ``attempt``-th transmission (1-based)."""
+        t = self.timeout * self.backoff ** (attempt - 1)
+        return t if t < self.max_timeout else self.max_timeout
+
+
+class _Outstanding:
+    """Sender-side record of one unacked DATA packet."""
+
+    __slots__ = ("packet", "attempts", "epoch")
+
+    def __init__(self, packet: Packet):
+        self.packet = packet   # pristine host-side copy (never corrupted)
+        self.attempts = 0      # transmissions so far
+        self.epoch = 0         # bumped per retransmit; stales old timers
+
+
+class ReliableFirmware(LanaiFirmware):
+    """LANai control program with positive acks and retransmission."""
+
+    def __init__(self, *args, retransmit: Optional[RetransmitPolicy] = None,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self.policy = retransmit if retransmit is not None else RetransmitPolicy()
+        self._unacked: dict[int, _Outstanding] = {}  # seq -> record
+        self._seen: set[int] = set()                 # seqs accepted here
+        self._parked: dict[int, list[Packet]] = {}   # job_id -> due retransmits
+        # statistics / audit feeds
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.dup_discards = 0
+        self.corrupt_discards = 0
+        self.unreachable_discards = 0   # DATA for a non-active context
+        self.permanent_losses = 0       # gave up after max_retries
+        #: seqs this node ever retransmitted — the auditor excuses FIFO
+        #: reordering for exactly these (plus the injector's faulted set).
+        self.retransmitted_seqs: set[int] = set()
+
+    # ------------------------------------------------------------------ send side
+    def _inject(self, packet: Packet, pickup_time: float = 0.0):
+        if packet.ptype is PacketType.DATA:
+            entry = self._unacked.get(packet.seq)
+            if entry is None:
+                entry = _Outstanding(packet)
+                self._unacked[packet.seq] = entry
+            entry.attempts += 1
+            self.sim.process(
+                self._ack_timer(packet.seq, entry.epoch,
+                                self.policy.timeout_for(entry.attempts)),
+                name=f"rto-{self.nic.node_id}-s{packet.seq}")
+        yield from super()._inject(packet, pickup_time)
+
+    def _ack_timer(self, seq: int, epoch: int, timeout: float):
+        yield self.sim.timeout(timeout)
+        entry = self._unacked.get(seq)
+        if entry is None or entry.epoch != epoch:
+            return  # acked, or a newer transmission owns the timer
+        if entry.attempts >= self.policy.max_retries:
+            del self._unacked[seq]
+            self.permanent_losses += 1
+            if self.tracer:
+                self.tracer.record("rto-give-up", node=self.nic.node_id,
+                                   seq=seq, job=entry.packet.job_id,
+                                   attempts=entry.attempts)
+            return
+        entry.epoch += 1
+        self.retransmits += 1
+        self.retransmitted_seqs.add(seq)
+        if self.tracer:
+            self.tracer.record("rto-retransmit", node=self.nic.node_id,
+                               seq=seq, job=entry.packet.job_id,
+                               attempt=entry.attempts + 1)
+        # A fresh clone: same seq (dedup key) and payload, CRC-clean even
+        # if the queued original was corrupted in SRAM.  dataclasses.replace
+        # re-runs __post_init__, recomputing size_bytes.
+        yield from self._requeue(replace(entry.packet, corrupted=False))
+
+    def _requeue(self, packet: Packet):
+        """Put a retransmit clone back on the send path.
+
+        Appends to the context's send queue when the context is installed
+        and active; parks it otherwise (see module docstring).
+        """
+        ctx = self._contexts.get(packet.job_id)
+        if ctx is None or ctx.state is not ContextState.ACTIVE:
+            self._parked.setdefault(packet.job_id, []).append(packet)
+            return
+        while ctx.send_queue.is_full:
+            yield ctx.send_queue.wait_space()
+            ctx = self._contexts.get(packet.job_id)
+            if ctx is None or ctx.state is not ContextState.ACTIVE:
+                self._parked.setdefault(packet.job_id, []).append(packet)
+                return
+        ctx.send_queue.append(packet)
+        self.wake()
+
+    def install_context(self, ctx) -> None:
+        super().install_context(ctx)
+        parked = self._parked.pop(ctx.job_id, None)
+        if parked:
+            self.sim.process(self._drain_parked(parked),
+                             name=f"rto-unpark-{self.nic.node_id}-j{ctx.job_id}")
+
+    def _drain_parked(self, parked: list):
+        for packet in parked:
+            yield from self._requeue(packet)
+
+    def forget_job(self, job_id: int) -> None:
+        """Connection teardown: cancel reliability state for a dead job.
+
+        A finished job has extracted every message it ever sent, so any
+        still-unacked entry is a zombie (its ack was lost after delivery)
+        — retransmitting it to peers that are also tearing down would
+        leave permanently parked clones and phantom ``outstanding``
+        counts at quiescence.  Real loss cannot hide here: the invariant
+        auditor checks delivery from its own taps, not from this table.
+        """
+        super().forget_job(job_id)
+        stale = [seq for seq, entry in self._unacked.items()
+                 if entry.packet.job_id == job_id]
+        for seq in stale:
+            del self._unacked[seq]
+        self._parked.pop(job_id, None)
+
+    # ------------------------------------------------------------------ receive side
+    def _receive_one(self, packet: Packet):
+        # (Per-packet processing time is slept by the caller, as in the
+        # base class.)
+        self.packets_received += 1
+        if packet.corrupted:
+            # Failed CRC: discard without acknowledgement; the sender's
+            # timer recovers it from the pristine host-side copy.
+            self.corrupt_discards += 1
+            if self.tracer:
+                self.tracer.record("pkt-crc-discard", node=self.nic.node_id,
+                                   seq=packet.seq, job=packet.job_id)
+            return
+
+        ptype = packet.ptype
+        if ptype is PacketType.ACK:
+            self.acks_received += 1
+            # Duplicated or stale acks are no-ops, not protocol errors.
+            self._unacked.pop(packet.ack_seq, None)
+            return
+        if ptype is not PacketType.DATA:
+            self.packets_received -= 1  # super() recounts it
+            yield from super()._receive_one(packet)
+            return
+
+        seq = packet.seq
+        if seq in self._seen:
+            # Switch-level duplicate, or a retransmit whose original made
+            # it (the ack was lost).  Either way: discard, but re-ack so
+            # the sender's timer settles.
+            self.dup_discards += 1
+            self._send_ack(packet)
+            if self.tracer:
+                self.tracer.record("pkt-dup-discard", node=self.nic.node_id,
+                                   seq=seq, job=packet.job_id)
+            return
+        ctx = self._contexts.get(packet.job_id)
+        if ctx is None or ctx.state is not ContextState.ACTIVE:
+            # Not an error under faults: withhold the ack and let the
+            # sender retransmit once the context is back.
+            self.unreachable_discards += 1
+            return
+        if packet.piggyback_refill:
+            # Applied at most once per seq — dedup above makes the strict
+            # overflow check in CreditState.on_refill safe.
+            self._delayed_credit(ctx, packet.src_node, packet.piggyback_refill)
+        yield self.nic.dma.request(packet.size_bytes)
+        if ctx.state is not ContextState.ACTIVE:
+            self.unreachable_discards += 1
+            return
+        self._seen.add(seq)
+        ctx.recv_queue.append(packet)
+        ctx.stats.packets_received += 1
+        ctx.stats.bytes_received += packet.payload_bytes
+        self._send_ack(packet)
+        for hook in self.data_delivery_hooks:
+            hook(ctx, packet)
+
+    def _send_ack(self, packet: Packet) -> None:
+        self._control_outbox.append(Packet(
+            PacketType.ACK, src_node=self.nic.node_id,
+            dst_node=packet.src_node, job_id=packet.job_id,
+            ack_seq=packet.seq,
+        ))
+        self.acks_sent += 1
+        self.wake()
+
+    # ------------------------------------------------------------------ inspection
+    @property
+    def outstanding(self) -> int:
+        """Unacked DATA packets (sender side)."""
+        return len(self._unacked)
+
+    def parked_count(self) -> int:
+        return sum(len(v) for v in self._parked.values())

@@ -96,7 +96,28 @@ class CreditState:
             )
 
     def on_refill(self, peer: int, count: int) -> None:
-        """Peer returned ``count`` credits (explicit refill or piggyback)."""
+        """Peer returned ``count`` credits (explicit refill or piggyback).
+
+        **Overflow is a protocol error, deliberately.**  Conservation
+        makes a legitimate overflow impossible: every credit returned was
+        first consumed at the peer, and the peer's ``take_refill`` /
+        ``take_piggyback`` zero the consumed counter *atomically* with
+        enqueueing the packet that carries it, so the sum of credits here,
+        in flight, and parked at the peer never exceeds C0 — regardless
+        of how refills and piggybacks race or how long a context sat in
+        backing store (delayed application via ``credit_turnaround``
+        included).  The only event that can trip this check is the same
+        credit arriving *twice*, i.e. a duplicated packet.  Preventing
+        that is the reliability layer's contract: under fault injection
+        ``ReliableFirmware`` deduplicates by sequence number *before*
+        applying piggybacks, and on a perfect network duplication cannot
+        happen.  Tolerating overflow here would instead silently mint
+        credits and mask exactly the corruption the paper warns about
+        ("a single packet loss can mess up the credit counters"), so the
+        strict check stays — pinned by the c0=1 test, where low_water=0
+        and refill_threshold=1 make every consumed packet refill
+        immediately and any duplication overflows at once.
+        """
         if count <= 0:
             raise CreditError(f"refill of {count} credits from {peer}")
         sem = self._peer_sem(peer)

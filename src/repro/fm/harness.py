@@ -50,7 +50,9 @@ class FMNetwork:
                  node_spec: NodeSpec = NodeSpec(),
                  link: LinkSpec = LinkSpec(),
                  tracer: Optional[Tracer] = None,
-                 strict_no_loss: bool = False):
+                 strict_no_loss: bool = False,
+                 firmware_class: Optional[type] = None,
+                 firmware_kwargs: Optional[dict] = None):
         if num_nodes < 1:
             raise ConfigError(f"need at least one node, got {num_nodes}")
         self.sim = sim
@@ -60,13 +62,15 @@ class FMNetwork:
         self.control_net = ControlNetwork(sim)
         self.nodes: list[HostNode] = []
         self.firmwares: dict[int, LanaiFirmware] = {}
+        cls = firmware_class if firmware_class is not None else LanaiFirmware
+        extra = dict(firmware_kwargs) if firmware_kwargs else {}
         for node_id in range(num_nodes):
             node = HostNode(sim, node_id, node_spec)
             self.nodes.append(node)
             self.fabric.register(node.nic)
-            self.firmwares[node_id] = LanaiFirmware(
+            self.firmwares[node_id] = cls(
                 sim, node.nic, self.fabric, config,
-                tracer=self.tracer, strict_no_loss=strict_no_loss,
+                tracer=self.tracer, strict_no_loss=strict_no_loss, **extra,
             )
 
     @property

@@ -57,6 +57,11 @@ class Packet:
     ack_seq: int = -1                # seq being (n)acked (ACK/NACK only)
     tag: int = 0                     # application message tag (MPI layer)
     payload_obj: object = None       # opaque app payload (last fragment)
+    #: Set by the fault-injection layer (link bit errors, NIC SRAM
+    #: flips).  A corrupted packet fails the receiver's CRC check and is
+    #: discarded without acknowledgement; the reliability layer recovers
+    #: it from the sender's pristine host-side copy.
+    corrupted: bool = False
     seq: int = field(default_factory=lambda: next(_seq_counter))
     #: Bytes occupied on the wire (and in a buffer slot).  Derived from
     #: the payload once at construction — the send/receive/transmit paths

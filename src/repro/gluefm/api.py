@@ -48,7 +48,9 @@ class GlueFM:
 
     def __init__(self, sim: Simulator, node: HostNode, fabric: MyrinetFabric,
                  config: FMConfig, switch_algorithm: Optional[SwitchAlgorithm] = None,
-                 tracer: Optional[Tracer] = None, strict_no_loss: bool = False):
+                 tracer: Optional[Tracer] = None, strict_no_loss: bool = False,
+                 firmware_class: Optional[type] = None,
+                 firmware_kwargs: Optional[dict] = None):
         self.sim = sim
         self.node = node
         self.fabric = fabric
@@ -57,6 +59,11 @@ class GlueFM:
                                  else ValidOnlyCopy())
         self.tracer = tracer if tracer is not None else NullTracer()
         self.strict_no_loss = strict_no_loss
+        #: Control-program variant to load at COMM_init_node (the
+        #: reliability layer substitutes ReliableFirmware here).
+        self.firmware_class = (firmware_class if firmware_class is not None
+                               else LanaiFirmware)
+        self.firmware_kwargs = dict(firmware_kwargs) if firmware_kwargs else {}
         self.firmware: Optional[LanaiFirmware] = None
         self.flush: Optional[FlushProtocol] = None
         self.backing = BackingStore(now=lambda: sim.now)
@@ -72,9 +79,10 @@ class GlueFM:
         """
         if self.firmware is not None:
             raise ProtocolError(f"node {self.node.node_id}: COMM_init_node called twice")
-        self.firmware = LanaiFirmware(self.sim, self.node.nic, self.fabric,
-                                      self.config, tracer=self.tracer,
-                                      strict_no_loss=self.strict_no_loss)
+        self.firmware = self.firmware_class(
+            self.sim, self.node.nic, self.fabric, self.config,
+            tracer=self.tracer, strict_no_loss=self.strict_no_loss,
+            **self.firmware_kwargs)
         self.flush = FlushProtocol(self.sim, self.firmware, participants,
                                    tracer=self.tracer)
 
@@ -133,6 +141,7 @@ class GlueFM:
         yield self.node.cpu.busy(self.END_JOB_TIME)
         if self.firmware.installed_context(job_id) is ctx:
             self.firmware.remove_context(ctx)
+        self.firmware.forget_job(job_id)
         self.tracer.record("end-job", node=self.node.node_id, job=job_id)
 
     def context_of(self, job_id: int) -> FMContext:

@@ -86,6 +86,24 @@ class FlushProtocol:
 
         ``k`` counts halted nodes we know of, including ourselves once we
         halted locally.
+
+        Audited arithmetic (the "ah-before-lh" edge): ``_halts_received``
+        is cumulative, so the in-round count subtracts the ``peers *
+        (round-1)`` halts that completed earlier rounds — deliberately
+        *not* ``peers * round``, which ``_check_flush`` compares against:
+        that is the completion threshold of the round in progress, not
+        the floor of halts already consumed.  The ``min(..., peers)`` cap
+        is load-bearing, not cosmetic: a fast neighbour's round-r+1 HALT
+        can land while our round r is still releasing (``_flush_event``
+        remains set until release completes), pushing the cumulative
+        count past this round's quota; the excess is *banked* for the
+        next round, and must not be reported as part of this one — the
+        paper's Figure 3 has no state beyond (H, p).  Symmetrically the
+        S-state bank below cannot go negative: round r only completes
+        once ``_halts_received >= peers * r``, so after completion the
+        difference is the (non-negative) early-arrival surplus.  The
+        property test in tests/property/test_flush_properties.py replays
+        this edge across rounds and asserts 0 <= k <= p throughout.
         """
         in_round_halts = self._halts_received - self.peers * max(0, self._halt_round - 1)
         if self._flush_event is not None:

@@ -85,10 +85,14 @@ class SwitchAlgorithm(abc.ABC):
             total_time += seconds
             total_bytes += nbytes
 
-        if in_ctx is not None:
+        if in_ctx is not None and backing.has_image(in_ctx.job_id):
+            # A context switched in for the *first* time has no saved
+            # image — there is nothing to copy back, so nothing may be
+            # billed.  (Billing the nonexistent copy was a real bug: under
+            # ValidOnlyCopy the phantom charge even scaled with whatever
+            # the fresh context's queues happened to hold.)
             seconds, nbytes = self.restore_cost(in_ctx, memory, clock)
-            if backing.has_image(in_ctx.job_id):
-                backing.restore(in_ctx)
+            backing.restore(in_ctx)
             yield node.cpu.busy(seconds)
             total_time += seconds
             total_bytes += nbytes

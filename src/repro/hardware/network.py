@@ -50,6 +50,14 @@ class MyrinetFabric:
         self.bytes_moved: int = 0
         # Optional observer for tests/traces: fn(packet, depart, arrive).
         self.observer: Optional[Callable] = None
+        #: Optional fault-injection hook (:mod:`repro.faults.injector`).
+        #: ``None`` on the perfect fabric — the per-packet fast path pays
+        #: exactly one attribute test for it.  When set, its
+        #: ``on_transmit(packet, src, dst)`` decides per packet how many
+        #: copies arrive (0 = dropped in the switch, 2 = duplicated), with
+        #: what extra delay (jitter), and whether the delivered bytes are
+        #: corrupted.
+        self.fault_injector: Optional[object] = None
 
     # -- topology -----------------------------------------------------------
     def register(self, nic: MyrinetNIC) -> None:
@@ -102,6 +110,10 @@ class MyrinetFabric:
 
         nbytes = packet.size_bytes
         now = self.sim.now
+
+        if self.fault_injector is not None:
+            return self._transmit_faulty(packet, dst, deliver_cb, nbytes, now)
+
         earliest = now + self._path_latency
         # Destination link busy until _rx_free_at: fan-in serialisation.
         busy = self._rx_free_at[dst]
@@ -119,4 +131,35 @@ class MyrinetFabric:
         # delivery callback reads it off the event — no per-packet closure.
         arrival = self.sim.timeout(deliver_at - now, value=packet)
         arrival.callbacks.append(deliver_cb)
+        return arrival
+
+    def _transmit_faulty(self, packet, dst: int, deliver_cb, nbytes: int,
+                         now: float) -> Event:
+        """Slow-path transmit consulted by the fault injector.
+
+        Jitter delays the fall-through but never reorders: deliveries per
+        destination stay serialised through ``_rx_free_at``, which is
+        monotone in transmit order, so the per-pair FIFO contract (which
+        the flush protocol's correctness rests on) survives every fault
+        model.  A dropped packet vanishes in the switch — it consumes no
+        receive-side wire time and the returned event never delivers.
+        """
+        copies, packet, extra_delay = self.fault_injector.on_transmit(
+            packet, packet.src_node, dst)
+        self.packets_moved += 1
+        self.bytes_moved += nbytes
+        if copies == 0:
+            return self.sim.timeout(self._path_latency, value=packet)
+        arrival: Optional[Event] = None
+        for _ in range(copies):
+            earliest = now + self._path_latency + extra_delay
+            busy = self._rx_free_at[dst]
+            if busy > earliest:
+                earliest = busy
+            deliver_at = earliest + nbytes * self._wire_inv
+            self._rx_free_at[dst] = deliver_at
+            if self.observer is not None:
+                self.observer(packet, now, deliver_at)
+            arrival = self.sim.timeout(deliver_at - now, value=packet)
+            arrival.callbacks.append(deliver_cb)
         return arrival

@@ -55,6 +55,8 @@ class MyrinetNIC:
         self.send_gate = Gate(sim, opened=True)
         self._sram_allocations: dict[str, int] = {"firmware": spec.firmware_reserved}
         self.firmware: Optional[object] = None  # set by fm.firmware.install()
+        #: Transient SRAM faults absorbed so far (fault-injection layer).
+        self.sram_faults = 0
 
     # -- SRAM accounting ------------------------------------------------------
     @property
@@ -86,6 +88,18 @@ class MyrinetNIC:
 
     def sram_allocated(self, tag: str) -> int:
         return self._sram_allocations.get(tag, 0)
+
+    # -- fault injection -----------------------------------------------------
+    def corrupt_descriptor(self, packet) -> None:
+        """An SRAM bit flip lands in a queued send descriptor.
+
+        The descriptor still looks structurally valid (it will be picked
+        up and injected normally) but the bytes it describes are wrong, so
+        the packet goes out marked corrupted and fails the receiver's CRC
+        check.  Recovery is the reliability layer's job.
+        """
+        packet.corrupted = True
+        self.sram_faults += 1
 
     # -- halt bit ---------------------------------------------------------------
     def set_halt_bit(self) -> None:

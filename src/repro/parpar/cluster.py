@@ -24,6 +24,9 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.errors import ConfigError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultSpec
+from repro.faults.retransmit import ReliableFirmware, RetransmitPolicy
 from repro.fm.buffers import BufferPolicy, FullBuffer, StaticPartition
 from repro.fm.config import FMConfig
 from repro.gluefm.api import GlueFM
@@ -61,6 +64,13 @@ class ClusterConfig:
     #: Alternative node-daemon class (ablations, e.g. SHARE-style
     #: unflushed switching); must subclass NodeDaemon.
     noded_class: Optional[type] = None
+    #: Fault model (chaos campaigns).  Enabling any fault automatically
+    #: loads the reliability firmware — faults without retransmission
+    #: would just crash the strict no-loss checks.
+    faults: Optional[FaultSpec] = None
+    #: Ack/retransmit schedule; set (or defaulted by ``faults``) to load
+    #: :class:`~repro.faults.retransmit.ReliableFirmware` on every NIC.
+    retransmit: Optional[RetransmitPolicy] = None
 
     def __post_init__(self):
         if self.num_nodes <= 0 or self.time_slots <= 0:
@@ -106,6 +116,22 @@ class ParParCluster:
         self.glue: list[GlueFM] = []
         self.nodeds: list[NodeDaemon] = []
 
+        # Fault-injection & reliability wiring (chaos campaigns).
+        retransmit = config.retransmit
+        if (retransmit is None and config.faults is not None
+                and config.faults.enabled):
+            retransmit = RetransmitPolicy()
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.enabled:
+            self.fault_injector = FaultInjector(
+                config.faults, self.rng.fork("faults"),
+                tracer=self.tracer, link=config.link)
+            if config.faults.link_faults:
+                self.fabric.fault_injector = self.fault_injector
+        firmware_class = ReliableFirmware if retransmit is not None else None
+        firmware_kwargs = ({"retransmit": retransmit}
+                           if retransmit is not None else None)
+
         noded_class = config.noded_class if config.noded_class is not None else NodeDaemon
         participants = list(range(config.num_nodes))
         for node_id in participants:
@@ -115,14 +141,22 @@ class ParParCluster:
             glue = GlueFM(self.sim, node, self.fabric, self.fm_config,
                           switch_algorithm=config.resolved_switch(),
                           tracer=self.tracer,
-                          strict_no_loss=config.strict_no_loss)
+                          strict_no_loss=config.strict_no_loss,
+                          firmware_class=firmware_class,
+                          firmware_kwargs=firmware_kwargs)
             glue.COMM_init_node(participants)
             self.glue.append(glue)
             self.nodeds.append(noded_class(
                 self.sim, node, glue, self.control_net, MasterDaemon.ENDPOINT,
                 policy=self.policy, recorder=self.recorder,
                 resident_mode=not config.buffer_switching,
+                fault_injector=self.fault_injector,
             ))
+            if (self.fault_injector is not None
+                    and config.faults.sram_flip_rate > 0):
+                self.sim.process(
+                    self.fault_injector.sram_flip_process(glue.firmware),
+                    name=f"sram-faults-{node_id}")
 
         self.masterd = MasterDaemon(self.sim, self.control_net,
                                     num_nodes=config.num_nodes,

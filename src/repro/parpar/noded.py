@@ -66,8 +66,11 @@ class NodeDaemon:
     def __init__(self, sim: Simulator, node: HostNode, glue: GlueFM,
                  control_net: ControlNetwork, master_endpoint: int,
                  policy: BufferPolicy, recorder: SwitchRecorder,
-                 resident_mode: bool = False):
+                 resident_mode: bool = False, fault_injector=None):
         self.sim = sim
+        #: Chaos-campaign hook: consulted once per switch for daemon
+        #: stall/crash disruptions (see repro.faults.injector).
+        self.fault_injector = fault_injector
         self.node = node
         self.glue = glue
         self.control_net = control_net
@@ -148,6 +151,20 @@ class NodeDaemon:
 
     # ------------------------------------------------------------------ switching
     def _switch(self, sequence: int, old_slot: int, new_slot: int):
+        injector = self.fault_injector
+        if injector is not None:
+            # Daemon disruption: the switch message sat in a stalled (or
+            # crashed-and-restarted) noded before the protocol started.
+            # The gang quantum shrinks but the three-stage protocol below
+            # runs unchanged — its safety must not depend on the daemon
+            # being prompt.
+            kind, delay = injector.daemon_disruption(self.node.node_id)
+            if kind is not None:
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                if kind == "crash":
+                    yield self.node.cpu.busy(
+                        injector.spec.daemon_restart_time)
         out_job = self._slot_jobs.get(old_slot)
         in_job = self._slot_jobs.get(new_slot)
         started = self.sim.now

@@ -115,6 +115,46 @@ class TestPiggyback:
         assert cs.refills_piggybacked == 1
 
 
+class TestC0One:
+    """Pin the documented overflow contract at the tightest window.
+
+    With c0=1, low_water is 0 and refill_threshold is 1: every consumed
+    packet refills immediately, so the window ping-pongs 0 -> 1 forever —
+    and any duplicated refill overflows on the very next application.
+    This is the configuration the ``on_refill`` docstring points at."""
+
+    def test_thresholds_at_c0_one(self, sim):
+        cs = CreditState(sim, c0=1, peers=[1])
+        assert cs.low_water == 0
+        assert cs.refill_threshold == 1
+
+    def test_ping_pong_window(self, sim):
+        sender = CreditState(sim, c0=1, peers=[1])
+        receiver = CreditState(sim, c0=1, peers=[0])
+        for _ in range(10):
+            assert sender.try_acquire_send(1)
+            assert sender.available(1) == 0
+            receiver.note_consumed(0)
+            assert receiver.refill_due(0)
+            sender.on_refill(1, receiver.take_refill(0))
+            assert sender.available(1) == 1
+
+    def test_duplicate_refill_overflows_immediately(self, sim):
+        sender = CreditState(sim, c0=1, peers=[1])
+        assert sender.try_acquire_send(1)
+        sender.on_refill(1, 1)          # the legitimate return
+        with pytest.raises(CreditError, match="overflow"):
+            sender.on_refill(1, 1)      # the duplicate: must not mint
+
+    def test_overflow_leaves_window_intact(self, sim):
+        """The failed refill must not corrupt the counter it protects."""
+        sender = CreditState(sim, c0=1, peers=[1])
+        with pytest.raises(CreditError, match="overflow"):
+            sender.on_refill(1, 1)
+        assert sender.available(1) == 1
+        assert sender.credits_received == 0
+
+
 class TestConservation:
     def test_round_trip_conserves_credits(self, sim):
         """available + unreported-consumed must return to C0 after a full

@@ -137,6 +137,58 @@ class TestRun:
         assert report.bytes_copied == 0
 
 
+class TestRestoreBilling:
+    """Regression lock for the phantom-restore-charge bug: a context
+    switched in for the first time has no saved image, so the restore
+    copy must not be billed (under ValidOnlyCopy the phantom charge even
+    scaled with whatever the fresh context's queues held)."""
+
+    def _run(self, sim, algo, out_ctx, in_ctx, backing, node):
+        result = {}
+
+        def proc():
+            result["report"] = yield from algo.run(node, out_ctx, in_ctx, backing)
+
+        p = sim.process(proc())
+        sim.run_until_processed(p)
+        return result["report"]
+
+    @pytest.mark.parametrize("algo_cls", [FullCopy, ValidOnlyCopy])
+    def test_first_switch_in_bills_nothing(self, sim, algo_cls):
+        node = HostNode(sim, 0)
+        backing = BackingStore(now=lambda: sim.now)
+        in_ctx = make_ctx(sim, job_id=7)
+        fill(in_ctx.send_queue, 5)  # pre-queued traffic must not be billed
+        fill(in_ctx.recv_queue, 5)
+        report = self._run(sim, algo_cls(), None, in_ctx, backing, node)
+        assert report.duration == 0.0
+        assert report.bytes_copied == 0
+        assert node.cpu.busy_time == 0.0
+        assert not backing.has_image(7)  # nothing was "restored" either
+
+    @pytest.mark.parametrize("algo_cls", [FullCopy, ValidOnlyCopy])
+    def test_second_switch_in_bills_the_restore(self, sim, algo_cls):
+        node = HostNode(sim, 0)
+        backing = BackingStore(now=lambda: sim.now)
+        ctx = make_ctx(sim, job_id=7)
+        fill(ctx.send_queue, 5)
+        # Round 1: switch the context out (saves an image)...
+        self._run(sim, algo_cls(), ctx, None, backing, node)
+        assert backing.has_image(7)
+        saved_busy = node.cpu.busy_time
+        # ...round 2: switch it back in — now the copy is real.
+        algo = algo_cls()
+        memory = node.memory
+        expected, expected_bytes = algo.restore_cost(ctx, memory,
+                                                     node.cpu.spec.clock_hz)
+        report = self._run(sim, algo, None, ctx, backing, node)
+        assert report.duration == pytest.approx(expected)
+        assert report.bytes_copied == expected_bytes
+        assert expected > 0.0
+        assert node.cpu.busy_time == pytest.approx(saved_busy + expected)
+        assert not backing.has_image(7)
+
+
 class TestBackingStore:
     def test_save_then_restore(self, sim):
         ctx = make_ctx(sim)

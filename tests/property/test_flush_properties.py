@@ -49,6 +49,76 @@ def test_flush_always_completes_under_arbitrary_skew(nodes, delays, rounds):
         assert all(not g.node.nic.halted for g in rig.glue)
 
 
+def test_ah_before_lh_edge_banks_and_caps_across_rounds():
+    """Deterministic replay of Figure 3's awkward interleaving: a fast
+    neighbour's HALT ("ah") lands before our local halt ("lh"), and a
+    next-round HALT lands while this round is still releasing.  The
+    banked-halt arithmetic in ``FlushProtocol.state`` must keep
+    0 <= banked <= peers in S and 1 <= k <= p in H through every arrival,
+    over at least three rounds — the cumulative counters must never leak
+    the surplus into the wrong round nor go negative."""
+    from repro.fm.packet import Packet, PacketType
+
+    rounds = 3
+    rig = GlueRig(3)
+    me = rig.glue[2]
+    flush = me.flush
+    peers = flush.peers  # 2
+    p = peers + 1
+    edges = {"banked": False, "capped": False}
+
+    def check():
+        phase, k = flush.state
+        if phase == "H":
+            assert 1 <= k <= p, f"H-state k={k} out of Figure 3's range"
+            in_round = (flush._halts_received
+                        - peers * (flush._halt_round - 1))
+            if in_round > peers:
+                edges["capped"] = True  # surplus banked, not reported
+        else:
+            assert 0 <= k <= peers, f"S-state bank={k} out of range"
+            if k > 0:
+                edges["banked"] = True  # ah before lh
+
+    def halt_from(src):
+        flush._on_halt(Packet(PacketType.HALT, src_node=src, dst_node=2))
+        check()
+
+    def ready_from(src):
+        flush._on_ready(Packet(PacketType.READY, src_node=src, dst_node=2))
+        check()
+
+    for r in range(1, rounds + 1):
+        # "ah" first: one peer halts this round before we do.  (From
+        # round 2 on, the *other* peer's halt is already banked from the
+        # capped arrival below, so the bank peaks at exactly `peers`.)
+        halt_from(1 if r > 1 else 0)
+        if r == 1:
+            halt_from(1)
+        me.node.nic.set_halt_bit()
+        flush_ev = flush.begin_flush()
+        check()
+        assert flush_ev.triggered  # all halts were already in
+        assert flush.state == ("H", p)
+
+        release_ev = flush.begin_release()
+        check()
+        ready_from(0)
+        assert not release_ev.triggered
+        # The capped edge: peer 0 races ahead into round r+1 while our
+        # release is still pending — its HALT must be banked.
+        halt_from(0)
+        assert flush.state == ("H", p), "surplus must not exceed (H, p)"
+        ready_from(1)
+        assert release_ev.triggered
+        # Released: the early round-r+1 halt sits in the bank.
+        assert flush.state == ("S", 1)
+        me.node.nic.clear_halt_bit()
+
+    assert edges["banked"] and edges["capped"], \
+        "the scripted schedule must exercise both Figure 3 edges"
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     nodes=st.integers(min_value=2, max_value=5),

@@ -10,7 +10,7 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for name in ("figure5", "figure6", "figure7", "figure8", "figure9",
-                     "headline", "nicmem"):
+                     "headline", "nicmem", "chaos"):
             assert name in out
 
     def test_figure5_small(self, capsys):
@@ -27,6 +27,34 @@ class TestCli:
         assert main(["figure6", "--jobs", "1", "2", "--sizes", "4096",
                      "--quantum", "0.01"]) == 0
         assert "Figure 6" in capsys.readouterr().out
+
+    def test_chaos_small_audited(self, capsys):
+        import json
+
+        assert main(["chaos", "--seed", "0", "--rounds", "4",
+                     "--drop", "0.02", "--dup", "0.01"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["audit"]["ok"]
+        assert result["injected"]["drops"] >= 0
+        assert result["error"] is None
+
+    def test_chaos_no_audit(self, capsys):
+        import json
+
+        assert main(["chaos", "--rounds", "4", "--drop", "0.05",
+                     "--no-audit"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert "audit" not in result
+        assert result["injected"]["drops"] > 0
+
+    def test_chaos_multi_run_list(self, capsys):
+        import json
+
+        assert main(["-j", "2", "chaos", "--runs", "2", "--rounds", "3",
+                     "--drop", "0.02"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert isinstance(results, list) and len(results) == 2
+        assert all(r["audit"]["ok"] for r in results)
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

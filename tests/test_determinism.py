@@ -48,6 +48,25 @@ class TestDeterminism:
         assert abs(a["bw"] - b["bw"]) / a["bw"] < 0.05
 
 
+class TestChaosDeterminism:
+    """Fault injection must not cost reproducibility: every fault draw
+    comes from a named seeded stream consumed in event order, and chaos
+    reports carry counts only — so a fanned-out campaign is byte-identical
+    to a serial one."""
+
+    def test_chaos_campaign_serial_equals_parallel(self):
+        from repro.faults.chaos import ChaosPoint, run_chaos_campaign
+
+        point = ChaosPoint(seed=7, nodes=4, time_slots=2, jobs=2,
+                           quantum=0.004, rounds=5, message_bytes=1024,
+                           drop=0.02, dup=0.01, corrupt=0.005, jitter=0.05,
+                           sram=100.0, stall=0.05, crash=0.02)
+        serial = run_chaos_campaign(point, runs=2, workers=1)
+        pooled = run_chaos_campaign(point, runs=2, workers=2)
+        assert serial == pooled
+        assert serial[0] != serial[1]  # per-run seeds genuinely differ
+
+
 class TestParallelDeterminism:
     """The parallel sweep executor must be an implementation detail:
     same root seed => byte-identical result records, serial or pooled."""
