@@ -25,7 +25,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.sim.bench import KERNEL_BENCHMARKS  # noqa: E402
+from repro.sim.bench import KERNEL_BENCHMARKS, bench_sleep_profiled  # noqa: E402
 
 N = 300_000
 REPS = 3
@@ -52,6 +52,19 @@ def main() -> int:
         }
         print(f"  {name:<8} {best:>12,.0f} events/s   "
               f"seed {baseline:>9,}   x{best / baseline:.2f}")
+
+    # Telemetry overhead: the sleep pattern with the kernel profiler on.
+    # The profiled loop dispatches through the generic step() path, so
+    # this ratio is the full price of `--telemetry` on the hot loop; the
+    # telemetry-off number must be unaffected (zero-cost-when-off).
+    profiled = max(bench_sleep_profiled(N) for _ in range(REPS))
+    overhead = results["sleep"]["events_per_sec"] / profiled
+    results["sleep_profiled"] = {
+        "events_per_sec": round(profiled),
+        "overhead_ratio_vs_off": round(overhead, 2),
+    }
+    print(f"  {'profiled':<8} {profiled:>12,.0f} events/s   "
+          f"telemetry overhead x{overhead:.2f}")
     gc.enable()
 
     payload = {

@@ -19,6 +19,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="gang quantum in seconds (scaled; see DESIGN.md)")
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", metavar="OUT.json", default=None,
+                        help="enable the unified telemetry layer and write "
+                             "the merged snapshot (all sweep points) here")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -39,25 +45,46 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--sizes", type=int, nargs="+", default=None)
     p5.add_argument("--packets", type=int, default=800,
                     help="target packets per data point")
+    _add_telemetry(p5)
 
     p6 = sub.add_parser("figure6", help="total bandwidth, buffer switching")
     p6.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4, 8])
     p6.add_argument("--sizes", type=int, nargs="+", default=None)
     _add_common(p6)
+    _add_telemetry(p6)
 
     for name, help_text in (("figure7", "switch stages, full copy"),
                             ("figure9", "switch stages, valid-only copy")):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
         p.add_argument("--switches", type=int, default=10)
+        _add_telemetry(p)
 
     p8 = sub.add_parser("figure8", help="buffer occupancy at switch time")
     p8.add_argument("--nodes", type=int, nargs="+", default=[2, 4, 8, 16])
     p8.add_argument("--switches", type=int, default=10)
+    _add_telemetry(p8)
 
     sub.add_parser("headline", help="Sec 4.2 headline overhead bounds")
-    sub.add_parser("nicmem", help="NIC memory sufficiency (Sec 4.1)")
+    pn = sub.add_parser("nicmem", help="NIC memory sufficiency (Sec 4.1)")
+    _add_telemetry(pn)
     sub.add_parser("perf", help="kernel performance smoke check")
+
+    pt = sub.add_parser(
+        "telemetry",
+        help="traced gang-switch demo: Chrome trace + metrics snapshot")
+    pt.add_argument("--out", metavar="TRACE.json", default=None,
+                    help="Chrome trace_event output "
+                         "(default: repro_trace.json)")
+    pt.add_argument("--metrics", metavar="SNAP.json", default=None,
+                    help="also write the unified snapshot JSON here")
+    pt.add_argument("--nodes", type=int, default=4)
+    pt.add_argument("--switches", type=int, default=4)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--smoke", action="store_true",
+                    help="CI preset: validate the snapshot against the "
+                         "checked-in schema and require a complete "
+                         "halt/swap/release switch; exit non-zero otherwise")
 
     pc = sub.add_parser("chaos", help="fault-injection campaign + safety audit")
     pc.add_argument("--seed", type=int, default=0)
@@ -85,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="inject faults without the invariant auditor")
     pc.add_argument("--smoke", action="store_true",
                     help="fast CI preset; exits non-zero on any violation")
+    _add_telemetry(pc)
     return parser
 
 
@@ -98,7 +126,26 @@ EXPERIMENTS = {
     "nicmem": "Sec 4.1 NIC memory sufficiency",
     "perf": "DES kernel performance smoke check",
     "chaos": "fault-injection campaign with no-loss/no-dup safety audit",
+    "telemetry": "traced gang-switch demo (Chrome trace + metrics snapshot)",
 }
+
+
+def _write_merged_telemetry(path: str, snapshots) -> None:
+    """Merge per-point snapshots and write the aggregate (validated)."""
+    import json
+
+    from repro.telemetry.schema import validate_snapshot
+    from repro.telemetry.session import merge_unified_snapshots
+
+    merged = merge_unified_snapshots(s for s in snapshots if s is not None)
+    problems = validate_snapshot(merged)
+    if problems:  # pragma: no cover - contract drift is a bug
+        raise RuntimeError("telemetry snapshot violates schema: "
+                           + "; ".join(problems))
+    with open(path, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"telemetry snapshot written to {path}")
 
 
 def main(argv=None) -> int:
@@ -118,8 +165,12 @@ def main(argv=None) -> int:
         points = run_figure5(contexts=tuple(args.contexts),
                              message_sizes=sizes,
                              target_packets=args.packets,
-                             workers=args.workers)
+                             workers=args.workers,
+                             telemetry=args.telemetry is not None)
         print(render_figure5(points))
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
         return 0
 
     if args.command == "figure6":
@@ -132,8 +183,12 @@ def main(argv=None) -> int:
         if args.quantum:
             kwargs["quantum"] = args.quantum
         points = run_figure6(jobs=tuple(args.jobs), message_sizes=sizes,
-                             workers=args.workers, **kwargs)
+                             workers=args.workers,
+                             telemetry=args.telemetry is not None, **kwargs)
         print(render_figure6(points))
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
         return 0
 
     if args.command in ("figure7", "figure9"):
@@ -143,8 +198,12 @@ def main(argv=None) -> int:
 
         runner = run_figure7 if args.command == "figure7" else run_figure9
         points = runner(nodes=tuple(args.nodes), num_switches=args.switches,
-                        workers=args.workers)
+                        workers=args.workers,
+                        telemetry=args.telemetry is not None)
         print(render_switch_overheads(points, args.command[-1]))
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
         return 0
 
     if args.command == "figure8":
@@ -153,8 +212,12 @@ def main(argv=None) -> int:
 
         points = run_figure8(nodes=tuple(args.nodes),
                              num_switches=args.switches,
-                             workers=args.workers)
+                             workers=args.workers,
+                             telemetry=args.telemetry is not None)
         print(render_figure8(points))
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
         return 0
 
     if args.command == "headline":
@@ -180,6 +243,7 @@ def main(argv=None) -> int:
             message_bytes=args.size, drop=args.drop, dup=args.dup,
             corrupt=args.corrupt, jitter=args.jitter, sram=args.sram,
             stall=args.stall, crash=args.crash, audit=not args.no_audit,
+            telemetry=args.telemetry is not None,
         )
         if args.smoke:
             # CI preset: every fault model lit, small cluster, < 60 s.
@@ -189,10 +253,14 @@ def main(argv=None) -> int:
                 drop=0.02, dup=0.01, corrupt=0.005, jitter=0.05,
                 sram=200.0, stall=0.05, crash=0.02,
                 audit=not args.no_audit,
+                telemetry=args.telemetry is not None,
             )
         results = run_chaos_campaign(point, runs=args.runs,
                                      workers=args.workers)
         print(json.dumps(results if args.runs > 1 else results[0], indent=2))
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (r.get("telemetry") for r in results))
         if point.audit:
             bad = [r for r in results
                    if r.get("error") or not r["audit"]["ok"]]
@@ -204,13 +272,47 @@ def main(argv=None) -> int:
             contexts_supported, knee_of, run_nic_memory_sweep)
         from repro.experiments.report import format_table
 
-        points = run_nic_memory_sweep(workers=args.workers)
+        points = run_nic_memory_sweep(workers=args.workers,
+                                      telemetry=args.telemetry is not None)
         knee = knee_of(points)
         rows = [(p.send_buffer_kib, p.credits, f"{p.mbps:.1f}",
                  "<- knee" if p is knee else "") for p in points]
         print(format_table(["sendbuf[KiB]", "C0", "MB/s", ""], rows))
         print(f"knee at {knee.send_buffer_kib} KiB; a 512 KiB card supports "
               f"~{contexts_supported(432, knee.send_buffer_kib)} contexts")
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
+        return 0
+
+    if args.command == "telemetry":
+        import json
+
+        from repro.telemetry.demo import run_telemetry_demo
+        from repro.telemetry.export import render_summary
+
+        demo = run_telemetry_demo(nodes=args.nodes,
+                                  num_switches=args.switches,
+                                  seed=args.seed)
+        out = args.out if args.out else "repro_trace.json"
+        with open(out, "w") as fh:
+            json.dump(demo.trace, fh, indent=1)
+            fh.write("\n")
+        if args.metrics:
+            with open(args.metrics, "w") as fh:
+                json.dump(demo.snapshot, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(render_summary(demo.snapshot))
+        print(f"\n{demo.switches} gang switches captured; Chrome trace "
+              f"({len(demo.trace['traceEvents'])} events) written to {out} "
+              "-- load it in chrome://tracing or https://ui.perfetto.dev")
+        if demo.problems:
+            for problem in demo.problems:
+                print(f"telemetry check FAILED: {problem}", file=sys.stderr)
+            return 1
+        if args.smoke:
+            print("telemetry smoke: snapshot schema OK, "
+                  "halt/swap/release spans OK")
         return 0
 
     return 1  # pragma: no cover

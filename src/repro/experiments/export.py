@@ -23,6 +23,10 @@ def _flatten(record: Any, prefix: str = "") -> dict[str, Any]:
     out: dict[str, Any] = {}
     for field in dataclasses.fields(record):
         value = getattr(record, field.name)
+        if field.name == "telemetry":
+            # Snapshots are nested JSON, not tabular data; they have their
+            # own exporters (repro.telemetry.export) and --telemetry flag.
+            continue
         key = f"{prefix}{field.name}"
         if dataclasses.is_dataclass(value) and not isinstance(value, type):
             out.update(_flatten(value, prefix=f"{key}."))

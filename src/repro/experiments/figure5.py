@@ -11,7 +11,7 @@ and "no communication is even possible".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.fm.buffers import StaticPartition
 from repro.fm.config import FMConfig
@@ -32,15 +32,24 @@ class Figure5Point:
     mbps: float
     messages: int
     packets_moved: int   # actual packet volume (>= the nominal target)
+    #: unified telemetry snapshot (None unless the sweep asked for one)
+    telemetry: Optional[dict] = None
 
 
 def _measure_point(contexts: int, message_bytes: int, messages: int,
-                   num_processors: int) -> Figure5Point:
+                   num_processors: int,
+                   telemetry: bool = False) -> Figure5Point:
     sim = Simulator()
     config = FMConfig(max_contexts=contexts, num_processors=num_processors)
     policy = StaticPartition()
     c0 = policy.geometry(config).initial_credits
-    net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True)
+    telem = None
+    if telemetry:
+        from repro.telemetry.session import Telemetry
+        telem = Telemetry(clock=lambda: sim.now)
+        sim.profiler = telem.profiler
+    net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True,
+                    tracer=telem.tracer if telem is not None else None)
     sender, receiver = net.create_job(1, [0, 1], policy)
     workload = bandwidth_benchmark(messages, message_bytes)
     results = {}
@@ -52,10 +61,16 @@ def _measure_point(contexts: int, message_bytes: int, messages: int,
     for proc in procs:
         sim.run_until_processed(proc, max_events=200_000_000)
     result: BandwidthResult = results[0]
+    snapshot = None
+    if telem is not None:
+        from repro.telemetry.session import harvest_network
+        harvest_network(telem, net)
+        snapshot = telem.snapshot()
     return Figure5Point(contexts=contexts, message_bytes=message_bytes,
                         c0=c0, mbps=result.mbps, messages=messages,
                         packets_moved=packets_for_messages(config, message_bytes,
-                                                           messages))
+                                                           messages),
+                        telemetry=snapshot)
 
 
 def _point_worker(args: tuple) -> Figure5Point:
@@ -67,12 +82,13 @@ def run_figure5(contexts: Sequence[int] = tuple(range(1, 9)),
                 message_sizes: Sequence[int] = FIG5_MESSAGE_SIZES,
                 target_packets: int = 1500,
                 num_processors: int = 16,
-                workers: int = 1) -> list[Figure5Point]:
+                workers: int = 1,
+                telemetry: bool = False) -> list[Figure5Point]:
     """The full sweep: one point per (contexts, message size)."""
     items = []
     for n in contexts:
         config = FMConfig(max_contexts=n, num_processors=num_processors)
         for size in message_sizes:
             messages = messages_for_size(config, size, target_packets)
-            items.append((n, size, messages, num_processors))
+            items.append((n, size, messages, num_processors, telemetry))
     return run_points(_point_worker, items, workers=workers)

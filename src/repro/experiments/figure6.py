@@ -13,7 +13,7 @@ which stays "fairly constant" as jobs are added, the headline result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.fm.config import FMConfig
@@ -52,12 +52,14 @@ class Figure6Point:
     aggregate_mbps: float    # mean per-job x number of jobs (paper stat)
     switches: int
     messages_per_job: int
+    #: unified telemetry snapshot (None unless the sweep asked for one)
+    telemetry: Optional[dict] = None
 
 
 def _measure_point(jobs: int, message_bytes: int, messages: int,
                    quantum: float, num_processors: int,
                    switch_algorithm: SwitchAlgorithm,
-                   seed: int = 0) -> Figure6Point:
+                   seed: int = 0, telemetry: bool = False) -> Figure6Point:
     if jobs < 1:
         raise ConfigError(f"need at least one job, got {jobs}")
     # Two physical nodes; every job wants both, forcing one job per slot.
@@ -66,7 +68,7 @@ def _measure_point(jobs: int, message_bytes: int, messages: int,
     cluster = ParParCluster(ClusterConfig(
         num_nodes=2, time_slots=max(jobs, 1), quantum=quantum,
         buffer_switching=True, switch_algorithm=switch_algorithm, fm=fm,
-        seed=seed,
+        seed=seed, telemetry=telemetry,
     ))
     workload = bandwidth_benchmark(messages, message_bytes)
     submitted = [cluster.submit(JobSpec(f"bw{i}", 2, workload))
@@ -86,6 +88,7 @@ def _measure_point(jobs: int, message_bytes: int, messages: int,
         aggregate_mbps=aggregate_bandwidth(samples),
         switches=cluster.masterd.switches_completed,
         messages_per_job=messages,
+        telemetry=cluster.telemetry_snapshot() if telemetry else None,
     )
 
 
@@ -101,7 +104,8 @@ def run_figure6(jobs: Sequence[int] = tuple(range(1, 9)),
                 num_processors: int = 16,
                 switch_algorithm: SwitchAlgorithm | None = None,
                 root_seed: int = 0,
-                workers: int = 1) -> list[Figure6Point]:
+                workers: int = 1,
+                telemetry: bool = False) -> list[Figure6Point]:
     """The full sweep: one point per (number of jobs, message size)."""
     algo = switch_algorithm if switch_algorithm is not None else ValidOnlyCopy()
     items = []
@@ -111,5 +115,5 @@ def run_figure6(jobs: Sequence[int] = tuple(range(1, 9)),
             messages = _messages_for_quanta(fm, size, quantum, quanta_per_job)
             seed = point_seed(root_seed, f"figure6:jobs={njobs}:size={size}")
             items.append((njobs, size, messages, quantum, num_processors,
-                          algo, seed))
+                          algo, seed, telemetry))
     return run_points(_point_worker, items, workers=workers)

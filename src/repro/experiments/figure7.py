@@ -14,7 +14,7 @@ scales with occupancy, and that halt/release grow with the node count
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.fm.config import FMConfig
@@ -37,6 +37,8 @@ class SwitchOverheadPoint:
     mean_cycles: StageTimings
     occupancy: OccupancySummary
     clock_hz: float = 200e6
+    #: unified telemetry snapshot (None unless the sweep asked for one)
+    telemetry: Optional[dict] = None
 
 
 def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
@@ -45,7 +47,8 @@ def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
                      message_bytes: int = 8192,
                      num_processors: int = 16,
                      max_events: int = 400_000_000,
-                     seed: int = 0) -> SwitchOverheadPoint:
+                     seed: int = 0,
+                     telemetry: bool = False) -> SwitchOverheadPoint:
     """Measure one cluster size with one switch algorithm.
 
     Two *endless* all-to-all jobs stream under the gang scheduler and the
@@ -59,7 +62,7 @@ def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
     cluster = ParParCluster(ClusterConfig(
         num_nodes=nodes, time_slots=2, quantum=quantum,
         buffer_switching=True, switch_algorithm=algorithm, fm=fm,
-        seed=seed,
+        seed=seed, telemetry=telemetry,
     ))
     workload = alltoall_stream(until=float("inf"), message_bytes=message_bytes)
     for i in range(2):
@@ -88,15 +91,17 @@ def run_switch_point(nodes: int, algorithm: SwitchAlgorithm,
         mean_cycles=sub.mean_stage_cycles(clock),
         occupancy=summarize_occupancy(switched),
         clock_hz=clock,
+        telemetry=cluster.telemetry_snapshot() if telemetry else None,
     )
 
 
 def _point_worker(args: tuple) -> SwitchOverheadPoint:
     """Picklable run_points worker: one (nodes, algorithm) position."""
-    nodes, algorithm, quantum, num_switches, message_bytes, seed = args
+    nodes, algorithm, quantum, num_switches, message_bytes, seed, telem = args
     return run_switch_point(nodes, algorithm, quantum=quantum,
                             num_switches=num_switches,
-                            message_bytes=message_bytes, seed=seed)
+                            message_bytes=message_bytes, seed=seed,
+                            telemetry=telem)
 
 
 def run_switch_overheads(algorithm: SwitchAlgorithm,
@@ -105,10 +110,12 @@ def run_switch_overheads(algorithm: SwitchAlgorithm,
                          num_switches: int = 10,
                          message_bytes: int = 8192,
                          root_seed: int = 0,
-                         workers: int = 1) -> list[SwitchOverheadPoint]:
+                         workers: int = 1,
+                         telemetry: bool = False) -> list[SwitchOverheadPoint]:
     """The node sweep for one algorithm (Fig. 7: FullCopy, Fig. 9: ValidOnly)."""
     items = [(n, algorithm, quantum, num_switches, message_bytes,
-              point_seed(root_seed, f"switch:{algorithm.name}:nodes={n}"))
+              point_seed(root_seed, f"switch:{algorithm.name}:nodes={n}"),
+              telemetry)
              for n in nodes]
     return run_points(_point_worker, items, workers=workers)
 

@@ -15,7 +15,7 @@ produce Figure 7.  The paper's observations, which the model reproduces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.gluefm.switch import FullCopy, SwitchAlgorithm
 from repro.experiments.common import NODE_SWEEP
@@ -32,6 +32,8 @@ class OccupancyPoint:
     max_send_valid: int
     max_recv_valid: int
     samples: int
+    #: unified telemetry snapshot (None unless the sweep asked for one)
+    telemetry: Optional[dict] = None
 
 
 def run_figure8(nodes: Sequence[int] = NODE_SWEEP,
@@ -52,5 +54,6 @@ def run_figure8(nodes: Sequence[int] = NODE_SWEEP,
             max_send_valid=occ.max_send,
             max_recv_valid=occ.max_recv,
             samples=occ.samples,
+            telemetry=result.telemetry,
         ))
     return points

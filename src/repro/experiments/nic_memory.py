@@ -14,7 +14,7 @@ size, how many full-performance contexts fit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.errors import CreditError
 from repro.fm.buffers import BufferPolicy, ContextGeometry
@@ -52,17 +52,26 @@ class NicMemoryPoint:
     recv_buffer_kib: int
     credits: int
     mbps: float
+    #: unified telemetry snapshot (None unless the sweep asked for one)
+    telemetry: Optional[dict] = None
 
 
 def _measure_point(send_kib: int, recv_kib: int, message_bytes: int,
-                   messages: int, num_processors: int) -> NicMemoryPoint:
+                   messages: int, num_processors: int,
+                   telemetry: bool = False) -> NicMemoryPoint:
     """Bandwidth at one per-context buffer allotment (hermetic sim)."""
     policy = ScaledBuffers(send_kib * KiB, recv_kib * KiB)
     config = FMConfig(num_processors=num_processors)
     geometry = policy.geometry(config)
 
     sim = Simulator()
-    net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True)
+    telem = None
+    if telemetry:
+        from repro.telemetry.session import Telemetry
+        telem = Telemetry(clock=lambda: sim.now)
+        sim.profiler = telem.profiler
+    net = FMNetwork(sim, num_nodes=2, config=config, strict_no_loss=True,
+                    tracer=telem.tracer if telem is not None else None)
     sender, receiver = net.create_job(1, [0, 1], policy)
     start = {}
 
@@ -81,9 +90,15 @@ def _measure_point(send_kib: int, recv_kib: int, message_bytes: int,
         mbps = mb_per_second(messages * message_bytes, sim.now - start["t"])
     except CreditError:
         mbps = 0.0
+    snapshot = None
+    if telem is not None:
+        from repro.telemetry.session import harvest_network
+        harvest_network(telem, net)
+        snapshot = telem.snapshot()
     return NicMemoryPoint(
         send_buffer_kib=send_kib, recv_buffer_kib=recv_kib,
         credits=geometry.initial_credits, mbps=mbps,
+        telemetry=snapshot,
     )
 
 
@@ -98,10 +113,11 @@ def run_nic_memory_sweep(
         message_bytes: int = 16384,
         messages: int = 200,
         num_processors: int = 16,
-        workers: int = 1) -> list[NicMemoryPoint]:
+        workers: int = 1,
+        telemetry: bool = False) -> list[NicMemoryPoint]:
     """Bandwidth as a function of the per-context buffer allotment."""
     items = [(send_kib, int(send_kib * recv_to_send_ratio),
-              message_bytes, messages, num_processors)
+              message_bytes, messages, num_processors, telemetry)
              for send_kib in send_sizes_kib]
     return run_points(_point_worker, items, workers=workers)
 

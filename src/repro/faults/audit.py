@@ -72,6 +72,21 @@ class AuditReport:
             "ok": self.ok,
         }
 
+    def publish(self, registry, prefix: str = "audit") -> None:
+        """Fold this report into a telemetry MetricsRegistry.
+
+        Counts become counters; the boolean verdict becomes a 0/1 gauge
+        (``audit.ok``).  Gauges merge by addition, so in a merged
+        snapshot ``audit.ok`` counts the *passing* reports — all clean
+        iff it equals ``audit.reports``.
+        """
+        for name, value in self.to_dict().items():
+            if name == "ok":
+                continue
+            registry.counter(f"{prefix}.{name}").inc(value)
+        registry.counter(f"{prefix}.reports").inc(1)
+        registry.gauge(f"{prefix}.ok").add(1 if self.ok else 0)
+
 
 def _credits_in_queue(queue, toward_node: int) -> tuple:
     committed = 0

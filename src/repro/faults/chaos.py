@@ -51,6 +51,10 @@ class ChaosPoint:
     audit: bool = True
     #: post-completion drain time for ack timers and zombie retransmits
     settle: float = 0.2
+    #: attach the unified telemetry layer; the report gains a
+    #: ``"telemetry"`` snapshot (audit verdict included via
+    #: AuditReport.publish) without disturbing the existing keys.
+    telemetry: bool = False
 
     def fault_spec(self) -> FaultSpec:
         return FaultSpec(drop_rate=self.drop, dup_rate=self.dup,
@@ -70,6 +74,7 @@ def run_chaos_point(point: ChaosPoint) -> dict:
         seed=point.seed,
         faults=faults,
         retransmit=RetransmitPolicy(),
+        telemetry=point.telemetry,
     )
     cluster = ParParCluster(config)
 
@@ -137,9 +142,15 @@ def run_chaos_point(point: ChaosPoint) -> dict:
                 rank: cluster.nodeds[node_id].local_job(job.job_id).context
                 for rank, node_id in job.rank_to_node.items()
             }
-        result["audit"] = _audit_with_backings(
+        report = _audit_with_backings(
             auditor, cluster, jobs, excused, job_contexts,
-            reliability["retransmits"]).to_dict()
+            reliability["retransmits"])
+        result["audit"] = report.to_dict()
+        if cluster.telemetry is not None:
+            report.publish(cluster.telemetry.registry)
+
+    if cluster.telemetry is not None:
+        result["telemetry"] = cluster.telemetry_snapshot()
     return result
 
 

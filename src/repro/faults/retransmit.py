@@ -226,6 +226,10 @@ class ReliableFirmware(LanaiFirmware):
         ctx.recv_queue.append(packet)
         ctx.stats.packets_received += 1
         ctx.stats.bytes_received += packet.payload_bytes
+        tracer = self.tracer
+        if tracer and tracer.wants("pkt-deliver"):
+            tracer.record("pkt-deliver", node=self.nic.node_id,
+                          src=packet.src_node, seq=seq, job=packet.job_id)
         self._send_ack(packet)
         for hook in self.data_delivery_hooks:
             hook(ctx, packet)

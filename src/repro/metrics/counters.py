@@ -106,3 +106,24 @@ class SwitchRecorder:
             mean(r.out_send_valid for r in records),
             mean(r.out_recv_valid for r in records),
         )
+
+    def publish(self, registry, prefix: str = "switch") -> None:
+        """Fold the records into a telemetry MetricsRegistry.
+
+        Stage timings become histograms (full distributions, not just the
+        means the figures report); occupancy samples only count switches
+        that actually moved a context, mirroring :meth:`mean_occupancy`.
+        """
+        registry.counter(f"{prefix}.count").inc(len(self.records))
+        halt = registry.histogram(f"{prefix}.halt_seconds")
+        swap = registry.histogram(f"{prefix}.swap_seconds")
+        release = registry.histogram(f"{prefix}.release_seconds")
+        send_occ = registry.histogram(f"{prefix}.out_send_valid")
+        recv_occ = registry.histogram(f"{prefix}.out_recv_valid")
+        for rec in self.records:
+            halt.observe(rec.halt_seconds)
+            swap.observe(rec.switch_seconds)
+            release.observe(rec.release_seconds)
+            if rec.out_job is not None:
+                send_occ.observe(rec.out_send_valid)
+                recv_occ.observe(rec.out_recv_valid)

@@ -61,6 +61,11 @@ class ClusterConfig:
     strict_no_loss: bool = True
     seed: int = 0
     trace: bool = False
+    #: Unified telemetry (metrics registry + kernel profiler + span
+    #: tracing).  Implies tracing; off by default because observability
+    #: must never tax the measured runs — see the determinism contract in
+    #: :mod:`repro.telemetry.session`.
+    telemetry: bool = False
     #: Alternative node-daemon class (ablations, e.g. SHARE-style
     #: unflushed switching); must subclass NodeDaemon.
     noded_class: Optional[type] = None
@@ -105,8 +110,18 @@ class ParParCluster:
         self.sim = sim if sim is not None else Simulator()
         self.fm_config = config.resolved_fm()
         self.policy = config.resolved_policy()
-        self.tracer = (Tracer(clock=lambda: self.sim.now) if config.trace
-                       else NullTracer())
+        if config.telemetry:
+            from repro.telemetry.session import Telemetry
+            self.telemetry: Optional["Telemetry"] = Telemetry(
+                clock=lambda: self.sim.now)
+            self.tracer = self.telemetry.tracer
+            self.spans = self.telemetry.spans
+            self.sim.profiler = self.telemetry.profiler
+        else:
+            self.telemetry = None
+            self.spans = None
+            self.tracer = (Tracer(clock=lambda: self.sim.now) if config.trace
+                           else NullTracer())
         self.rng = RandomStreams(config.seed)
         self.recorder = SwitchRecorder()
 
@@ -151,6 +166,7 @@ class ParParCluster:
                 policy=self.policy, recorder=self.recorder,
                 resident_mode=not config.buffer_switching,
                 fault_injector=self.fault_injector,
+                spans=self.spans,
             ))
             if (self.fault_injector is not None
                     and config.faults.sram_flip_rate > 0):
@@ -215,6 +231,20 @@ class ParParCluster:
 
     def total_dropped(self) -> int:
         return sum(len(g.firmware.dropped_packets) for g in self.glue)
+
+    def telemetry_snapshot(self, include_wall: bool = False) -> dict:
+        """Harvest component counters and return the unified snapshot.
+
+        Requires ``ClusterConfig(telemetry=True)``; call after the runs
+        of interest (harvesting folds in cumulative totals, so call it
+        once — it is not idempotent on a live registry).
+        """
+        if self.telemetry is None:
+            raise ConfigError(
+                "telemetry_snapshot() requires ClusterConfig(telemetry=True)")
+        from repro.telemetry.session import harvest_cluster
+        harvest_cluster(self.telemetry, self)
+        return self.telemetry.snapshot(include_wall=include_wall)
 
     @property
     def matrix(self):

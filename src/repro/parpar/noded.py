@@ -66,11 +66,15 @@ class NodeDaemon:
     def __init__(self, sim: Simulator, node: HostNode, glue: GlueFM,
                  control_net: ControlNetwork, master_endpoint: int,
                  policy: BufferPolicy, recorder: SwitchRecorder,
-                 resident_mode: bool = False, fault_injector=None):
+                 resident_mode: bool = False, fault_injector=None,
+                 spans=None):
         self.sim = sim
         #: Chaos-campaign hook: consulted once per switch for daemon
         #: stall/crash disruptions (see repro.faults.injector).
         self.fault_injector = fault_injector
+        #: Telemetry hook: a SpanEmitter (truthy when recording) that
+        #: `_switch` uses to trace the three-stage protocol.
+        self.spans = spans
         self.node = node
         self.glue = glue
         self.control_net = control_net
@@ -168,6 +172,12 @@ class NodeDaemon:
         out_job = self._slot_jobs.get(old_slot)
         in_job = self._slot_jobs.get(new_slot)
         started = self.sim.now
+        spans = self.spans
+        switch_span = None
+        if spans:
+            switch_span = spans.begin(
+                "gang-switch", category="switch", node=self.node.node_id,
+                sequence=sequence, out_job=out_job, in_job=in_job)
 
         out_local = self._jobs.get(out_job) if out_job is not None else None
         in_local = self._jobs.get(in_job) if in_job is not None else None
@@ -180,16 +190,35 @@ class NodeDaemon:
             halt_s = switch_s = release_s = 0.0
             out_send = out_recv = 0
         else:
+            if spans:
+                stage = spans.begin("halt", category="switch",
+                                    parent=switch_span,
+                                    node=self.node.node_id)
             halt_s = yield from self.glue.COMM_halt_network()
+            if spans:
+                spans.end(stage)
+                stage = spans.begin("swap", category="switch",
+                                    parent=switch_span,
+                                    node=self.node.node_id)
             report = yield from self.glue.COMM_context_switch(out_job, in_job)
             switch_s = report.duration
             out_send, out_recv = report.out_send_valid, report.out_recv_valid
+            if spans:
+                spans.end(stage, out_send_valid=out_send,
+                          out_recv_valid=out_recv)
+                stage = spans.begin("release", category="switch",
+                                    parent=switch_span,
+                                    node=self.node.node_id)
             release_s = yield from self.glue.COMM_release_network()
+            if spans:
+                spans.end(stage)
 
         if in_local is not None and in_local.process is not None:
             yield self.node.cpu.busy(self.SIGNAL_TIME)
             in_local.process.resume()  # SIGCONT
 
+        if spans and switch_span is not None:
+            spans.end(switch_span)
         self.current_slot = new_slot
         self.recorder.add(SwitchRecord(
             node_id=self.node.node_id, sequence=sequence,

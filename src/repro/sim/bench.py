@@ -93,6 +93,30 @@ def bench_churn(n: int) -> float:
     return sim.processed_events / (time.perf_counter() - t0)
 
 
+def bench_sleep_profiled(n: int) -> float:
+    """The ``sleep`` pattern with the kernel profiler attached.
+
+    Measures what telemetry *costs*: the profiled run()-loop dispatches
+    through the generic ``step()`` path with one observe() per event, so
+    the ratio against :func:`bench_sleep` is the profiler overhead the
+    perf harness records (and the events/s figure doubles as the
+    profiler's self-benchmark).
+    """
+    from repro.telemetry.profiler import KernelProfiler
+
+    sim = Simulator()
+    sim.profiler = KernelProfiler()
+
+    def proc():
+        for _ in range(n):
+            yield 1.0
+
+    p = sim.process(proc())
+    t0 = time.perf_counter()
+    sim.run_until_processed(p)
+    return sim.processed_events / (time.perf_counter() - t0)
+
+
 #: name -> benchmark function, in reporting order.
 KERNEL_BENCHMARKS: dict[str, Callable[[int], float]] = {
     "sleep": bench_sleep,

@@ -232,7 +232,8 @@ class AllOf(_Condition):
 class Simulator:
     """The event loop: a clock plus a priority queue of triggered events."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_processed_count", "_free_timeouts")
+    __slots__ = ("_now", "_queue", "_seq", "_processed_count", "_free_timeouts",
+                 "_profiler")
 
     def __init__(self):
         self._now: float = 0.0
@@ -240,12 +241,31 @@ class Simulator:
         self._seq: int = 0
         self._processed_count: int = 0
         self._free_timeouts: list = []
+        self._profiler = None
 
     # -- clock ------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- profiling --------------------------------------------------------
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.telemetry.profiler.KernelProfiler`.
+
+        The guard is checked once per ``run()`` call (not per event): with
+        no profiler attached — or a falsy/disabled one — the inlined fast
+        loops run untouched, so an unprofiled simulation pays nothing.
+        With a profiler the kernel uses the generic :meth:`step` dispatch
+        path, whose semantics the fast loops mirror exactly, so results
+        stay bit-identical (the telemetry determinism tests pin this).
+        """
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        self._profiler = profiler if profiler else None
 
     @property
     def processed_events(self) -> int:
@@ -353,6 +373,8 @@ class Simulator:
         exactly (and falls back to for every non-trivial case).  The same
         body appears in :meth:`run_until_processed`; keep them in sync.
         """
+        if self._profiler is not None:
+            return self._run_profiled(until=until, max_events=max_events)
         from repro.sim.process import Process
 
         queue = self._queue
@@ -490,6 +512,8 @@ class Simulator:
 
         Same inline dispatch as :meth:`run` — keep the loop bodies in sync.
         """
+        if self._profiler is not None:
+            return self._run_until_processed_profiled(event, max_events=max_events)
         from repro.sim.process import Process
 
         watch = event
@@ -613,6 +637,67 @@ class Simulator:
                     free.append(ev)
         finally:
             self._processed_count = processed
+        if watch._ok is False:
+            raise watch._value
+        return watch._value
+
+    # -- profiled dispatch --------------------------------------------------
+    # These loops replicate run()/run_until_processed()'s control flow
+    # (horizon check, budget accounting, final clock advance) but dispatch
+    # every event through the generic step() path, observing each entry
+    # with the attached profiler first.  step()'s semantics are the
+    # contract the inlined fast loops mirror, so profiled runs are
+    # bit-identical to unprofiled ones — only slower, which is exactly the
+    # overhead ratio benchmarks/perf/bench_kernel.py tracks.
+
+    def _run_profiled(self, until: Optional[float] = None,
+                      max_events: Optional[int] = None) -> None:
+        from time import perf_counter
+
+        prof = self._profiler
+        queue = self._queue
+        budget = max_events if max_events is not None else float("inf")
+        count = 0
+        t0 = perf_counter()
+        try:
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return
+                if count >= budget:
+                    raise SimulationError(f"run() exceeded max_events={max_events}")
+                count += 1
+                entry = queue[0]
+                prof.observe(self._now, entry[0], entry[2])
+                self.step()
+        finally:
+            prof.account_wall(perf_counter() - t0)
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _run_until_processed_profiled(self, event: Event,
+                                      max_events: Optional[int] = None) -> Any:
+        from time import perf_counter
+
+        prof = self._profiler
+        watch = event
+        queue = self._queue
+        count = 0
+        t0 = perf_counter()
+        try:
+            while watch.callbacks is not None:
+                if not queue:
+                    raise SimulationError(
+                        "event queue drained before event triggered (deadlock?)")
+                if max_events is not None:
+                    if count >= max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    count += 1
+                entry = queue[0]
+                prof.observe(self._now, entry[0], entry[2])
+                self.step()
+        finally:
+            prof.account_wall(perf_counter() - t0)
         if watch._ok is False:
             raise watch._value
         return watch._value

@@ -37,27 +37,61 @@ class Tracer:
     ``if tracer: tracer.record(...)`` so that when no recorder is attached
     (the :class:`NullTracer` default, which is always falsy) a per-packet
     trace point costs a single boolean check — no call, no kwargs dict.
+    When the tracer *is* on but a ``kinds`` filter is active, the kwargs
+    dict for ``record(kind, **fields)`` is still built by the interpreter
+    at the call site; per-packet sites therefore guard with
+    ``if tracer and tracer.wants("pkt-tx"):`` so a filtered-out kind costs
+    one membership test instead of a dict build plus a discarded call.
+
+    ``limit`` caps the record list so an unbounded run cannot silently
+    exhaust memory: once ``limit`` records are held the tracer disables
+    itself (all ``if tracer:`` guards go cold) and sets ``truncated`` so
+    consumers can tell a complete stream from a clipped one.
     """
 
     def __init__(self, clock: Callable[[], float], enabled: bool = True,
-                 kinds: Optional[set[str]] = None):
+                 kinds: Optional[set[str]] = None,
+                 limit: Optional[int] = None):
         self._clock = clock
         self.enabled = enabled
         self.kinds = kinds
+        self.limit = limit
+        self.truncated = False
         self.records: list[TraceRecord] = []
 
     def __bool__(self) -> bool:
         return self.enabled
 
+    def wants(self, kind: str) -> bool:
+        """Would a record of ``kind`` be kept?  (Hot-path pre-check: lets
+        callers skip building the kwargs dict for filtered-out kinds.)"""
+        if not self.enabled:
+            return False
+        kinds = self.kinds
+        return kinds is None or kind in kinds
+
     def record(self, kind: str, **fields: Any) -> None:
         if not self.enabled:
             return
-        if self.kinds is not None and kind not in self.kinds:
+        kinds = self.kinds
+        if kinds is not None and kind not in kinds:
+            # Filtered out: return before constructing the TraceRecord
+            # (and before touching the clock or the record list).
             return
-        self.records.append(TraceRecord(self._clock(), kind, fields))
+        records = self.records
+        limit = self.limit
+        if limit is not None and len(records) >= limit:
+            self.enabled = False   # guards go cold; no silent unbounded growth
+            self.truncated = True
+            return
+        records.append(TraceRecord(self._clock(), kind, fields))
 
     def clear(self) -> None:
         self.records.clear()
+        if self.truncated:
+            # Freeing the buffer re-arms a tracer that hit its cap.
+            self.truncated = False
+            self.enabled = True
 
     def __len__(self) -> int:
         return len(self.records)

@@ -1,0 +1,140 @@
+"""Kernel profiler: per-component event counts and simulated-time shares.
+
+Attach a :class:`KernelProfiler` to a :class:`~repro.sim.core.Simulator`
+(``sim.profiler = KernelProfiler()``) and every event the kernel
+dispatches is attributed to a *component* — the digit-stripped name of
+the simulated process that the event wakes (``noded3-switch17`` and
+``noded7-switch2`` both become ``noded-switch``), or a ``kernel.*``
+pseudo-component for process-free callback dispatch.  Per component the
+profiler accumulates the event count and the simulated time that elapsed
+while that component's event was next in line, answering "where do my
+10^7 events go?" for experiment-scale runs.
+
+The zero-cost-when-off guard follows the :class:`~repro.sim.trace.Tracer`
+truthiness idiom, but lives *outside* the hot loop: the kernel checks the
+profiler once per ``run()`` call, not per event.  With no profiler
+attached (or a disabled one) the inlined fast loops in ``sim/core.py``
+run untouched; with one attached, the kernel switches to the generic
+``step()`` dispatch path, whose semantics are *bit-identical* — the fast
+path exists purely as an optimisation of it — so profiled and unprofiled
+simulations produce identical results (pinned by
+``tests/telemetry/test_determinism.py``).
+
+Wall-clock throughput (the events/s self-benchmark) is accumulated
+separately and never enters the deterministic snapshot unless explicitly
+asked for with ``include_wall=True``.
+"""
+
+from __future__ import annotations
+
+import re
+
+_DIGITS = re.compile(r"\d+")
+_DASHES = re.compile(r"-{2,}")
+
+
+def component_of(name: str) -> str:
+    """Collapse a process name to its component: strip run numbers.
+
+    ``noded3-switch17`` -> ``noded-switch``; ``app-j1-r0`` -> ``app-j-r``;
+    ``lanai-4`` -> ``lanai``.
+    """
+    collapsed = _DASHES.sub("-", _DIGITS.sub("", name)).strip("-")
+    return collapsed or "anonymous"
+
+
+class KernelProfiler:
+    """Attributes processed events and simulated time to components."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events = 0
+        self.wall_seconds = 0.0
+        # component -> [event_count, sim_seconds]
+        self._components: dict[str, list] = {}
+        self._name_cache: dict[str, str] = {}
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # ------------------------------------------------------------------ kernel hooks
+    def observe(self, prev_now: float, when: float, event) -> None:
+        """Attribute one about-to-be-dispatched event (kernel-internal).
+
+        ``prev_now`` is the clock before this event, ``when`` its
+        timestamp; the delta is the simulated time "waited on" this
+        event.  Attribution: a Process entry (sleep wake-up or
+        termination) belongs to that process; an event with a parked
+        process waiter belongs to the waiter; anything else is generic
+        kernel callback dispatch.
+        """
+        name = getattr(event, "name", None)        # Process entries
+        if name is None:
+            waiter = event._waiter
+            if waiter is not None:
+                name = waiter.name
+        if name is None:
+            key = ("kernel.timeout" if type(event).__name__ == "Timeout"
+                   else "kernel.event")
+        else:
+            key = self._name_cache.get(name)
+            if key is None:
+                key = component_of(name)
+                self._name_cache[name] = key
+        self.events += 1
+        cell = self._components.get(key)
+        if cell is None:
+            self._components[key] = [1, when - prev_now]
+        else:
+            cell[0] += 1
+            cell[1] += when - prev_now
+
+    def account_wall(self, seconds: float) -> None:
+        """Add wall-clock spent inside a profiled run loop."""
+        self.wall_seconds += seconds
+
+    # ------------------------------------------------------------------ reporting
+    @property
+    def events_per_sec(self) -> float:
+        """The events/s self-benchmark over all profiled run loops."""
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def snapshot(self, include_wall: bool = False) -> dict:
+        """JSON-ready profile.  Deterministic unless ``include_wall``."""
+        components = {
+            name: {"events": cell[0], "sim_seconds": cell[1]}
+            for name, cell in sorted(self._components.items())
+        }
+        out = {"events": self.events, "components": components}
+        if include_wall:
+            out["self_benchmark"] = {
+                "wall_seconds": self.wall_seconds,
+                "events_per_sec": self.events_per_sec,
+            }
+        return out
+
+    def publish(self, registry, prefix: str = "kernel") -> None:
+        """Mirror the deterministic profile into a MetricsRegistry."""
+        registry.counter(f"{prefix}.events").inc(self.events)
+        for name, cell in sorted(self._components.items()):
+            registry.counter(f"{prefix}.{name}.events").inc(cell[0])
+            registry.gauge(f"{prefix}.{name}.sim_seconds").add(cell[1])
+
+
+def merge_profiles(profiles) -> dict:
+    """Merge deterministic profile snapshots (sums, input order)."""
+    events = 0
+    components: dict[str, list] = {}
+    for profile in profiles:
+        events += profile["events"]
+        for name, entry in profile["components"].items():
+            cell = components.setdefault(name, [0, 0.0])
+            cell[0] += entry["events"]
+            cell[1] += entry["sim_seconds"]
+    return {
+        "events": events,
+        "components": {
+            name: {"events": cell[0], "sim_seconds": cell[1]}
+            for name, cell in sorted(components.items())
+        },
+    }

@@ -1,0 +1,223 @@
+"""Typed metric instruments and the registry that serializes them.
+
+The simulation's quantitative claims — stage timings, queue occupancy,
+bandwidth, fault counts — were previously scattered over ad-hoc counters
+(``metrics/counters.py`` knows switch stages, ``faults/audit.py`` builds
+bespoke dicts, the experiment harness sums firmware attributes by hand).
+The :class:`MetricsRegistry` is the single sink: components look up
+instruments lazily by name (get-or-create, so nothing needs central
+declaration), and one :meth:`~MetricsRegistry.snapshot` call produces a
+stable, JSON-ready view.
+
+Three instrument kinds, chosen for deterministic mergeability:
+
+- :class:`Counter` — monotonically increasing int; merges by sum.
+- :class:`Gauge` — a last-written float (e.g. a level sampled at the end
+  of a run); merges by sum, which is the right semantics for the
+  per-point gauges this repo records (residual levels that add across
+  hermetic simulations).
+- :class:`Histogram` — fixed log2 buckets (one bucket per binary order of
+  magnitude, via ``math.frexp``), plus count/sum/min/max; merges
+  bucket-wise.  Log2 buckets need no a-priori range configuration, which
+  is what lets components register lazily.
+
+Determinism contract: a snapshot contains only values derived from the
+simulation (never wall-clock), keys are sorted, and
+:func:`merge_snapshots` folds in input order — so per-point snapshots
+from a serial sweep and a ``-jN`` pool merge to identical aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.errors import ConfigError
+
+Number = Union[int, float]
+
+#: Histogram bucket exponents are clamped to this range; anything smaller
+#: than 2**-64 (or zero/negative) lands in the underflow bucket, anything
+#: at or above 2**64 in the overflow bucket.
+_MIN_EXP = -64
+_MAX_EXP = 64
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A last-written level (float)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def add(self, delta: Number) -> None:
+        self.value += float(delta)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+def log2_bucket(value: Number) -> int:
+    """The fixed log2 bucket index of ``value``.
+
+    Bucket ``e`` holds values in ``[2**(e-1), 2**e)``; zero and negative
+    values land in the underflow bucket ``_MIN_EXP``.
+    """
+    if value <= 0.0:
+        return _MIN_EXP
+    _, exp = math.frexp(value)   # value == m * 2**exp with m in [0.5, 1)
+    if exp < _MIN_EXP:
+        return _MIN_EXP
+    if exp > _MAX_EXP:
+        return _MAX_EXP
+    return exp
+
+
+class Histogram:
+    """A distribution with fixed log2 buckets plus count/sum/min/max."""
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = log2_bucket(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            # JSON object keys are strings; sort numerically for stability.
+            "buckets": {str(e): self.buckets[e] for e in sorted(self.buckets)},
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Lazy, name-keyed home of every instrument in one simulation."""
+
+    def __init__(self):
+        self._instruments: dict[str, Instrument] = {}
+
+    # ------------------------------------------------------------------ lookup
+    def _get(self, name: str, cls) -> Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested as {cls.kind}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    # ------------------------------------------------------------------ export
+    def snapshot(self) -> dict:
+        """Stable JSON-ready view: metric name -> serialized instrument."""
+        return {name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)}
+
+    def load(self, snapshot: Mapping[str, dict]) -> None:
+        """Fold a serialized snapshot into this registry (for merging)."""
+        for name in snapshot:
+            entry = snapshot[name]
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).add(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                hist.count += entry["count"]
+                hist.sum += entry["sum"]
+                for bound, stat in (("min", min), ("max", max)):
+                    other = entry.get(bound)
+                    if other is None:
+                        continue
+                    mine = getattr(hist, bound)
+                    setattr(hist, bound,
+                            other if mine is None else stat(mine, other))
+                for exp_str, n in entry["buckets"].items():
+                    exp = int(exp_str)
+                    hist.buckets[exp] = hist.buckets.get(exp, 0) + n
+            else:
+                raise ConfigError(f"snapshot metric {name!r} has unknown "
+                                  f"kind {kind!r}")
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, dict]]) -> dict:
+    """Merge metric snapshots (counters/histograms sum, gauges add,
+    histogram min/max fold) in input order — deterministic for ordered
+    inputs, and order-insensitive for the integer aggregates."""
+    registry = MetricsRegistry()
+    for snap in snapshots:
+        registry.load(snap)
+    return registry.snapshot()

@@ -1,0 +1,104 @@
+"""Snapshot schema validation (dependency-free).
+
+CI validates every telemetry snapshot against the checked-in schema at
+``schemas/telemetry_snapshot.schema.json`` so the snapshot format is a
+*contract*: downstream dashboards can rely on it, and accidental format
+drift fails the build instead of silently breaking consumers.
+
+The container deliberately has no ``jsonschema`` package, so this module
+implements the small JSON-Schema subset the contract uses: ``type``,
+``properties``, ``required``, ``additionalProperties``, ``items``,
+``enum`` and ``minimum``.  :func:`validate` returns a list of error
+strings (empty = valid) with JSON-pointer-ish paths.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, List
+
+#: Repo-root-relative location of the snapshot contract.
+SCHEMA_RELPATH = Path("schemas") / "telemetry_snapshot.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    py = _TYPES[expected]
+    if expected in ("integer", "number") and isinstance(value, bool):
+        return False    # bool is an int subclass; schemas mean real numbers
+    return isinstance(value, py)
+
+
+def validate(obj: Any, schema: dict, path: str = "$") -> List[str]:
+    """Check ``obj`` against the supported JSON-Schema subset."""
+    errors: List[str] = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(obj, t) for t in allowed):
+            errors.append(f"{path}: expected type {expected}, "
+                          f"got {type(obj).__name__}")
+            return errors
+
+    enum = schema.get("enum")
+    if enum is not None and obj not in enum:
+        errors.append(f"{path}: {obj!r} not in enum {enum}")
+
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(obj, (int, float)) \
+            and not isinstance(obj, bool) and obj < minimum:
+        errors.append(f"{path}: {obj} below minimum {minimum}")
+
+    if isinstance(obj, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in obj:
+                errors.append(f"{path}: missing required property {name!r}")
+        extra = schema.get("additionalProperties")
+        for key, value in obj.items():
+            sub = props.get(key)
+            if sub is not None:
+                errors.extend(validate(value, sub, f"{path}.{key}"))
+            elif isinstance(extra, dict):
+                errors.extend(validate(value, extra, f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(obj, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(obj):
+                errors.extend(validate(value, items, f"{path}[{i}]"))
+
+    return errors
+
+
+def load_snapshot_schema(repo_root: Path | None = None) -> dict:
+    """Load the checked-in snapshot contract."""
+    root = repo_root if repo_root is not None else _find_repo_root()
+    return json.loads((root / SCHEMA_RELPATH).read_text())
+
+
+def _find_repo_root() -> Path:
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / SCHEMA_RELPATH).exists():
+            return parent
+    raise FileNotFoundError(
+        f"{SCHEMA_RELPATH} not found above {here}; pass repo_root explicitly")
+
+
+def validate_snapshot(snapshot: dict) -> List[str]:
+    """Validate a unified telemetry snapshot against the contract."""
+    return validate(snapshot, load_snapshot_schema())

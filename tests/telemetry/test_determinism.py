@@ -1,0 +1,88 @@
+"""The telemetry determinism contract.
+
+Observability must be free of Heisenberg effects: turning the unified
+telemetry layer on (profiler + tracer + span emission + harvesting)
+must not change a single simulated observable, and a fanned-out sweep
+must produce byte-identical snapshots to a serial one, merging to the
+same aggregate either way.
+"""
+
+import dataclasses
+
+from repro.experiments.figure6 import _measure_point, run_figure6
+from repro.faults.chaos import ChaosPoint, run_chaos_point
+from repro.telemetry import merge_unified_snapshots, validate_snapshot
+
+
+def _fig6_kwargs(**overrides):
+    base = dict(jobs=2, message_bytes=1024, messages=40, quantum=0.004,
+                num_processors=16, seed=3)
+    base.update(overrides)
+    return base
+
+
+class TestTelemetryIsInvisible:
+    """Telemetry on vs off: bit-identical simulation results."""
+
+    def test_figure6_point_unchanged(self):
+        from repro.experiments.figure6 import ValidOnlyCopy
+
+        off = _measure_point(switch_algorithm=ValidOnlyCopy(),
+                             telemetry=False, **_fig6_kwargs())
+        on = _measure_point(switch_algorithm=ValidOnlyCopy(),
+                            telemetry=True, **_fig6_kwargs())
+        assert off.telemetry is None
+        assert on.telemetry is not None
+        for field in dataclasses.fields(off):
+            if field.name == "telemetry":
+                continue
+            assert getattr(off, field.name) == getattr(on, field.name), \
+                field.name
+        assert validate_snapshot(on.telemetry) == []
+
+    def test_chaos_point_unchanged(self):
+        base = dict(seed=0, nodes=4, time_slots=2, jobs=2, quantum=0.004,
+                    rounds=6, message_bytes=1024, drop=0.02, dup=0.01)
+        off = run_chaos_point(ChaosPoint(telemetry=False, **base))
+        on = run_chaos_point(ChaosPoint(telemetry=True, **base))
+        snapshot = on.pop("telemetry")
+        assert "telemetry" not in off
+        assert on == off
+        assert validate_snapshot(snapshot) == []
+        # The chaos snapshot is the *merged* story: reliability metrics
+        # and the audit verdict land in the same registry.
+        assert snapshot["metrics"]["audit.ok"]["value"] == 1
+        assert snapshot["metrics"]["reliability.retransmits"]["value"] > 0
+
+    def test_snapshot_itself_is_reproducible(self):
+        from repro.experiments.figure6 import ValidOnlyCopy
+
+        a = _measure_point(switch_algorithm=ValidOnlyCopy(),
+                           telemetry=True, **_fig6_kwargs())
+        b = _measure_point(switch_algorithm=ValidOnlyCopy(),
+                           telemetry=True, **_fig6_kwargs())
+        assert a.telemetry == b.telemetry
+
+
+class TestSerialVersusParallel:
+    """Snapshots must not depend on which worker produced them."""
+
+    def test_figure6_sweep_snapshots_identical(self):
+        kwargs = dict(jobs=[1, 2], message_sizes=(1024,),
+                      quanta_per_job=1.5, quantum=0.01, root_seed=9,
+                      telemetry=True)
+        serial = run_figure6(workers=1, **kwargs)
+        pooled = run_figure6(workers=2, **kwargs)
+        assert serial == pooled
+        assert all(p.telemetry is not None for p in serial)
+
+        merged_serial = merge_unified_snapshots(
+            [p.telemetry for p in serial])
+        merged_pooled = merge_unified_snapshots(
+            [p.telemetry for p in pooled])
+        assert merged_serial == merged_pooled
+        assert validate_snapshot(merged_serial) == []
+        # Merged counters really are the sum over the sweep's points.
+        total = sum(p.telemetry["metrics"]["fm.packets_sent"]["value"]
+                    for p in serial)
+        assert merged_serial["metrics"]["fm.packets_sent"]["value"] == total

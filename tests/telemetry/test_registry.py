@@ -1,0 +1,119 @@
+"""MetricsRegistry: typed instruments, lazy registration, merging."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import (Counter, Gauge, Histogram,
+                                      MetricsRegistry, log2_bucket,
+                                      merge_snapshots)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("g")
+        g.set(3.5)
+        g.add(1.5)
+        assert g.value == 5.0
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 7.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_histogram_empty_min_max_none(self):
+        d = Histogram("h").to_dict()
+        assert d["min"] is None and d["max"] is None and d["count"] == 0
+
+
+class TestLog2Bucket:
+    def test_powers_of_two(self):
+        assert log2_bucket(1.0) == 1
+        assert log2_bucket(2.0) == 2
+        assert log2_bucket(1024.0) == 11
+
+    def test_zero_and_small(self):
+        assert log2_bucket(0.0) == -64
+        # Sub-normal-ish small values clamp instead of exploding.
+        assert log2_bucket(1e-300) == -64
+
+    def test_monotone(self):
+        values = [1e-6, 1e-3, 0.5, 1, 3, 100, 1e9]
+        buckets = [log2_bucket(v) for v in values]
+        assert buckets == sorted(buckets)
+
+    def test_matches_frexp(self):
+        for v in (0.75, 1.5, 37.0, 8192.0):
+            _, exp = math.frexp(v)
+            assert log2_bucket(v) == exp
+
+
+class TestRegistry:
+    def test_lazy_registration_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z.late").inc(1)
+        reg.gauge("a.early").set(2.0)
+        reg.histogram("m.mid").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must round-trip as plain JSON
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap["c"] == {"kind": "counter", "value": 2}
+        assert snap["h"]["kind"] == "histogram"
+        assert snap["h"]["buckets"] == {"3": 1}
+
+
+class TestMerge:
+    def _snap(self, n):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(n)
+        reg.gauge("sim_s").add(float(n))
+        reg.histogram("sizes").observe(float(n))
+        return reg.snapshot()
+
+    def test_counters_sum_and_histograms_fold(self):
+        merged = merge_snapshots([self._snap(1), self._snap(2)])
+        assert merged["events"]["value"] == 3
+        assert merged["sim_s"]["value"] == 3.0
+        assert merged["sizes"]["count"] == 2
+        assert merged["sizes"]["min"] == 1.0
+        assert merged["sizes"]["max"] == 2.0
+
+    def test_merge_is_deterministic_in_input_order(self):
+        parts = [self._snap(i) for i in (3, 1, 2)]
+        assert merge_snapshots(parts) == merge_snapshots(list(parts))
+
+    def test_merge_of_one_is_identity(self):
+        snap = self._snap(7)
+        assert merge_snapshots([snap]) == snap

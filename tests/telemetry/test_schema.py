@@ -1,0 +1,100 @@
+"""The dependency-free schema validator and the snapshot contract."""
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.schema import (load_snapshot_schema, validate,
+                                    validate_snapshot)
+
+
+class TestValidator:
+    def test_type_mismatch(self):
+        assert validate("x", {"type": "integer"})
+        assert not validate(3, {"type": "integer"})
+
+    def test_bool_is_not_a_number(self):
+        assert validate(True, {"type": "integer"})
+        assert validate(True, {"type": "number"})
+        assert not validate(True, {"type": "boolean"})
+
+    def test_type_list(self):
+        schema = {"type": ["number", "null"]}
+        assert not validate(None, schema)
+        assert not validate(1.5, schema)
+        assert validate("no", schema)
+
+    def test_enum(self):
+        assert validate("c", {"enum": ["a", "b"]})
+        assert not validate("a", {"enum": ["a", "b"]})
+
+    def test_minimum(self):
+        assert validate(-1, {"type": "integer", "minimum": 0})
+        assert not validate(0, {"type": "integer", "minimum": 0})
+
+    def test_required_and_properties(self):
+        schema = {"type": "object", "required": ["a"],
+                  "properties": {"a": {"type": "integer"}}}
+        assert validate({}, schema)
+        assert validate({"a": "x"}, schema)
+        assert not validate({"a": 1}, schema)
+
+    def test_additional_properties_schema(self):
+        schema = {"type": "object",
+                  "additionalProperties": {"type": "integer"}}
+        assert not validate({"x": 1}, schema)
+        assert validate({"x": "s"}, schema)
+
+    def test_additional_properties_false(self):
+        schema = {"type": "object", "properties": {"a": {}},
+                  "additionalProperties": False}
+        assert not validate({"a": 1}, schema)
+        assert validate({"b": 1}, schema)
+
+    def test_items(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        assert not validate([1, 2], schema)
+        assert validate([1, "x"], schema)
+
+    def test_error_paths_name_the_location(self):
+        schema = {"type": "object",
+                  "properties": {"a": {"type": "object",
+                                       "required": ["b"]}}}
+        [error] = validate({"a": {}}, schema)
+        assert "$.a" in error
+
+
+class TestSnapshotContract:
+    def test_schema_file_loads(self):
+        schema = load_snapshot_schema()
+        assert schema["required"] == ["schema", "metrics", "profile", "spans"]
+
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(0.5)
+        return {
+            "schema": "repro-telemetry/1",
+            "metrics": reg.snapshot(),
+            "profile": {"events": 2,
+                        "components": {"x": {"events": 2,
+                                             "sim_seconds": 0.1}}},
+            "spans": {"count": 1,
+                      "by_name": {"halt": {"count": 1,
+                                           "total_seconds": 0.1}}},
+        }
+
+    def test_valid_snapshot_passes(self):
+        assert validate_snapshot(self._snapshot()) == []
+
+    def test_wrong_version_fails(self):
+        snap = self._snapshot()
+        snap["schema"] = "repro-telemetry/99"
+        assert validate_snapshot(snap)
+
+    def test_missing_section_fails(self):
+        snap = self._snapshot()
+        del snap["profile"]
+        assert validate_snapshot(snap)
+
+    def test_bad_metric_kind_fails(self):
+        snap = self._snapshot()
+        snap["metrics"]["c"]["kind"] = "exotic"
+        assert validate_snapshot(snap)

@@ -1,0 +1,135 @@
+"""Span emission, reconstruction, and derived packet/retransmit spans."""
+
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.telemetry.spans import (SpanEmitter, build_spans,
+                                   derive_packet_spans,
+                                   derive_retransmit_spans, summarize_spans)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpanEmitter:
+    def test_truthiness_follows_tracer(self):
+        assert not SpanEmitter(NullTracer())
+        assert SpanEmitter(Tracer(clock=lambda: 0.0))
+
+    def test_ids_monotonic(self):
+        spans = SpanEmitter(Tracer(clock=lambda: 0.0))
+        assert spans.begin("a") == 0
+        assert spans.begin("b") == 1
+
+    def test_begin_end_roundtrip(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        sid = emitter.begin("work", category="test", node=3)
+        clock.now = 2.5
+        emitter.end(sid, outcome="done")
+        [span] = build_spans(tracer.records)
+        assert span.name == "work"
+        assert span.category == "test"
+        assert span.start == 0.0 and span.end == 2.5
+        assert span.duration == 2.5
+        assert span.args["node"] == 3
+        assert span.args["outcome"] == "done"
+
+    def test_parent_child(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        parent = emitter.begin("outer")
+        child = emitter.begin("inner", parent=parent)
+        clock.now = 1.0
+        emitter.end(child)
+        emitter.end(parent)
+        spans = {s.name: s for s in build_spans(tracer.records)}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+
+
+class TestBuildSpans:
+    def test_unclosed_span_clipped_to_last_record(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        emitter.begin("dangling")
+        clock.now = 4.0
+        tracer.record("marker")
+        [span] = build_spans(tracer.records)
+        assert span.end == 4.0
+
+    def test_orphan_end_ignored(self):
+        records = [TraceRecord(1.0, "span-end", {"span": 99})]
+        assert build_spans(records) == []
+
+    def test_sorted_by_start_then_id(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        a = emitter.begin("a")
+        b = emitter.begin("b")
+        clock.now = 1.0
+        emitter.end(b)
+        emitter.end(a)
+        names = [s.name for s in build_spans(tracer.records)]
+        assert names == ["a", "b"]
+
+
+def _rec(t, kind, **fields):
+    return TraceRecord(t, kind, fields)
+
+
+class TestDerivedSpans:
+    def test_packet_flight(self):
+        records = [
+            _rec(0.0, "pkt-tx", node=0, dst=1, seq=7, job=1, ptype="DATA"),
+            _rec(0.5, "pkt-deliver", node=1, src=0, seq=7, job=1),
+        ]
+        [span] = derive_packet_spans(records)
+        assert span.name == "pkt-flight"
+        assert span.start == 0.0 and span.end == 0.5
+        assert span.args["src"] == 0 and span.args["dst"] == 1
+
+    def test_undelivered_packet_yields_no_span(self):
+        records = [_rec(0.0, "pkt-tx", node=0, dst=1, seq=7, job=1)]
+        assert derive_packet_spans(records) == []
+
+    def test_retransmit_epoch_recovered(self):
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2),
+            _rec(1.5, "pkt-deliver", node=1, src=0, seq=5, job=1),
+        ]
+        [span] = derive_retransmit_spans(records)
+        assert span.name == "retransmit-epoch"
+        assert span.args["recovered"] is True
+        assert span.args["retries"] == 1
+        assert span.end == 1.5
+
+    def test_retransmit_epoch_gave_up(self):
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2),
+            _rec(3.0, "rto-give-up", node=0, seq=5, job=1, attempts=4),
+        ]
+        [span] = derive_retransmit_spans(records)
+        assert span.args["recovered"] is False
+
+
+class TestSummarize:
+    def test_aggregates_by_name(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        for _ in range(3):
+            sid = emitter.begin("stage")
+            clock.now += 1.0
+            emitter.end(sid)
+        summary = summarize_spans(build_spans(tracer.records))
+        assert summary["count"] == 3
+        assert summary["by_name"]["stage"]["count"] == 3
+        assert abs(summary["by_name"]["stage"]["total_seconds"] - 3.0) < 1e-9
