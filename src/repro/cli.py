@@ -108,10 +108,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-switch daemon stall probability")
     pc.add_argument("--crash", type=float, default=0.0,
                     help="per-switch daemon crash probability")
+    pc.add_argument("--failstop", type=int, default=0, metavar="N",
+                    help="kill N nodes fail-stop at seed-drawn times; jobs "
+                         "shrink to nodes/2 ranks so some survive")
+    pc.add_argument("--rejoin", action="store_true",
+                    help="restart each killed node 5 quanta after its death "
+                         "and reintegrate it")
+    pc.add_argument("--requeue", action="store_true",
+                    help="requeue jobs that lose a rank instead of killing "
+                         "them (falls back to kill without capacity)")
     pc.add_argument("--no-audit", action="store_true",
                     help="inject faults without the invariant auditor")
     pc.add_argument("--smoke", action="store_true",
-                    help="fast CI preset; exits non-zero on any violation")
+                    help="fast CI preset; exits non-zero on any violation "
+                         "(combine with --failstop for the recovery preset)")
     _add_telemetry(pc)
     return parser
 
@@ -242,10 +252,23 @@ def main(argv=None) -> int:
             jobs=args.chaos_jobs, quantum=args.quantum, rounds=args.rounds,
             message_bytes=args.size, drop=args.drop, dup=args.dup,
             corrupt=args.corrupt, jitter=args.jitter, sram=args.sram,
-            stall=args.stall, crash=args.crash, audit=not args.no_audit,
+            stall=args.stall, crash=args.crash,
+            failstops=args.failstop, rejoin=args.rejoin,
+            requeue=args.requeue, audit=not args.no_audit,
             telemetry=args.telemetry is not None,
         )
-        if args.smoke:
+        if args.smoke and args.failstop:
+            # CI recovery preset: one fail-stop death with rejoin and
+            # requeue, long-enough jobs to guarantee the death lands
+            # mid-run — eviction, requeue, and reintegration all fire.
+            point = ChaosPoint(
+                seed=args.seed, nodes=4, time_slots=2, jobs=2,
+                quantum=0.004, rounds=600, message_bytes=1024,
+                failstops=1, rejoin=True, requeue=True,
+                audit=not args.no_audit,
+                telemetry=args.telemetry is not None,
+            )
+        elif args.smoke:
             # CI preset: every fault model lit, small cluster, < 60 s.
             point = ChaosPoint(
                 seed=args.seed, nodes=4, time_slots=2, jobs=2,

@@ -49,6 +49,7 @@ class AuditReport:
     backing_violations: int    # residual images not matching queue contents
     channels: int
     retransmits: int
+    excused_channels: int = 0  # channels of failed jobs, skipped entirely
 
     @property
     def ok(self) -> bool:
@@ -69,6 +70,7 @@ class AuditReport:
             "backing_violations": self.backing_violations,
             "channels": self.channels,
             "retransmits": self.retransmits,
+            "excused_channels": self.excused_channels,
             "ok": self.ok,
         }
 
@@ -164,7 +166,8 @@ class InvariantAuditor:
                job_contexts: Optional[Mapping[int, Mapping[int, FMContext]]] = None,
                backings: Optional[Iterable] = None,
                stored_contexts: Optional[Mapping[int, FMContext]] = None,
-               retransmits: int = 0) -> AuditReport:
+               retransmits: int = 0,
+               excused_jobs: Optional[Set[int]] = None) -> AuditReport:
         """Run every check against the quiesced state.
 
         ``excused_seqs`` are seqs whose first wire copy was destroyed or
@@ -172,12 +175,21 @@ class InvariantAuditor:
         reliability layer working, not a FIFO violation.
         ``job_contexts`` maps job_id -> (rank -> context) for the credit
         ledger; ``backings``/``stored_contexts`` (job_id -> context) feed
-        the residual-image integrity check.
+        the residual-image integrity check.  ``excused_jobs`` are jobs
+        that lost a rank to an evicted node: their channels legitimately
+        show loss (packets addressed to the corpse), so the per-channel
+        checks skip them entirely and report them as ``excused_channels``
+        — surviving jobs still get the full no-loss/no-dup/FIFO verdict.
         """
         excused = excused_seqs if excused_seqs is not None else set()
+        dead_jobs = excused_jobs if excused_jobs is not None else set()
         lost = duplicated = fifo_violations = reordered = 0
         delivered_total = 0
+        excused_channels = 0
         for key, sent in self._sent.items():
+            if key[0] in dead_jobs:
+                excused_channels += 1
+                continue
             delivered = self._delivered.get(key, [])
             delivered_total += len(delivered)
             delivered_set = set(delivered)
@@ -191,7 +203,7 @@ class InvariantAuditor:
                 fifo_violations += 1
         # Deliveries on channels with no recorded send = phantom packets.
         for key, delivered in self._delivered.items():
-            if key not in self._sent:
+            if key not in self._sent and key[0] not in dead_jobs:
                 delivered_total += len(delivered)
                 duplicated += len(delivered)
 
@@ -225,6 +237,7 @@ class InvariantAuditor:
             reordered_by_retransmit=reordered,
             credit_violations=credit_violations,
             backing_violations=backing_violations,
-            channels=len(self._sent),
+            channels=len(self._sent) - excused_channels,
             retransmits=retransmits,
+            excused_channels=excused_channels,
         )

@@ -17,13 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.experiments.common import point_seed, run_points
 from repro.faults.audit import InvariantAuditor
-from repro.faults.model import FaultSpec
+from repro.faults.model import FailStop, FaultSpec
 from repro.faults.retransmit import RetransmitPolicy
 from repro.parpar.cluster import ClusterConfig, ParParCluster
-from repro.parpar.job import JobSpec
+from repro.parpar.job import JobSpec, JobState
+from repro.sim.rand import RandomStreams
 from repro.units import US
 from repro.workloads.alltoall import alltoall_benchmark
 
@@ -48,6 +49,16 @@ class ChaosPoint:
     sram: float = 0.0          # SRAM flips per second per node
     stall: float = 0.0         # per-switch daemon stall probability
     crash: float = 0.0         # per-switch daemon crash probability
+    #: fail-stop node deaths.  Jobs shrink to ``nodes // 2`` ranks and
+    #: the corpses are drawn from the upper half of the node range, so
+    #: lower-half jobs survive and keep rotating through the recovery.
+    #: Kill times are seed-drawn from [3, 8] quanta; with ``rejoin`` each
+    #: corpse restarts 5 quanta after its death and reintegrates.
+    failstops: int = 0
+    rejoin: bool = False
+    #: failure policy for every job: requeue on a fresh allocation
+    #: instead of killing (falls back to kill when allocation fails).
+    requeue: bool = False
     audit: bool = True
     #: post-completion drain time for ack timers and zombie retransmits
     settle: float = 0.2
@@ -61,7 +72,32 @@ class ChaosPoint:
                          corrupt_rate=self.corrupt, jitter_rate=self.jitter,
                          jitter_max=self.jitter_max, sram_flip_rate=self.sram,
                          daemon_stall_rate=self.stall,
-                         daemon_crash_rate=self.crash)
+                         daemon_crash_rate=self.crash,
+                         failstop=self.failstop_schedule())
+
+    def job_width(self) -> int:
+        """Ranks per job — halved under fail-stops so some jobs survive."""
+        return self.nodes // 2 if self.failstops else self.nodes
+
+    def failstop_schedule(self) -> tuple:
+        """Seed-drawn fail-stop entries (hermetic per point, sorted)."""
+        if not self.failstops:
+            return ()
+        pool = list(range(self.job_width(), self.nodes))
+        if self.failstops > len(pool):
+            raise ConfigError(
+                f"failstops={self.failstops} exceeds the expendable upper "
+                f"half of a {self.nodes}-node cluster ({len(pool)} nodes)")
+        rng = RandomStreams(self.seed).stream("chaos-failstop")
+        picks = sorted(int(i) for i in
+                       rng.choice(len(pool), size=self.failstops,
+                                  replace=False))
+        entries = []
+        for idx in picks:
+            fail_at = float(rng.uniform(3 * self.quantum, 8 * self.quantum))
+            rejoin_at = fail_at + 5 * self.quantum if self.rejoin else None
+            entries.append(FailStop(pool[idx], fail_at, rejoin_at))
+        return tuple(entries)
 
 
 def run_chaos_point(point: ChaosPoint) -> dict:
@@ -85,8 +121,12 @@ def run_chaos_point(point: ChaosPoint) -> dict:
 
     workload = alltoall_benchmark(rounds=point.rounds,
                                   message_bytes=point.message_bytes)
-    njobs = min(point.jobs, point.time_slots)
-    jobs = [cluster.submit(JobSpec(f"chaos-{i}", point.nodes, workload))
+    width = point.job_width()
+    capacity = point.time_slots * (point.nodes // width)
+    njobs = min(point.jobs, capacity)
+    policy = "requeue" if point.requeue else "kill"
+    jobs = [cluster.submit(JobSpec(f"chaos-{i}", width, workload,
+                                   on_failure=policy))
             for i in range(njobs)]
 
     error = None
@@ -115,6 +155,17 @@ def run_chaos_point(point: ChaosPoint) -> dict:
                                     for g in cluster.glue),
     }
 
+    failed_ids = set(cluster.masterd.failed_jobs)
+    # Requeued jobs that finished as a fresh incarnation get the full
+    # audit under their new job_id; the failed originals are excused.
+    audited_jobs = [j for j in jobs if j.job_id not in failed_ids]
+    for job in jobs:
+        if job.job_id not in failed_ids:
+            continue
+        final = cluster.masterd.resolve_job(job.job_id)
+        if final.job_id not in failed_ids and final.state is JobState.FINISHED:
+            audited_jobs.append(final)
+
     result = {
         "seed": point.seed,
         "nodes": point.nodes,
@@ -124,6 +175,9 @@ def run_chaos_point(point: ChaosPoint) -> dict:
         "injected": cluster.fault_injector.counters()
         if cluster.fault_injector is not None else {},
         "reliability": reliability,
+        "recovery": (cluster.recovery_stats.counters()
+                     if cluster.recovery_stats is not None else {}),
+        "failed_jobs": len(failed_ids),
         "switches": len(cluster.recorder.records),
         "sim_seconds": cluster.sim.now,
         "events": cluster.sim.processed_events,
@@ -137,14 +191,15 @@ def run_chaos_point(point: ChaosPoint) -> dict:
         for fw in firmwares:
             excused |= fw.retransmitted_seqs
         job_contexts = {}
-        for job in jobs:
+        for job in audited_jobs:
             job_contexts[job.job_id] = {
                 rank: cluster.nodeds[node_id].local_job(job.job_id).context
                 for rank, node_id in job.rank_to_node.items()
             }
+        fresh = [j for j in audited_jobs if j not in jobs]
         report = _audit_with_backings(
-            auditor, cluster, jobs, excused, job_contexts,
-            reliability["retransmits"])
+            auditor, cluster, jobs + fresh, excused, job_contexts,
+            reliability["retransmits"], excused_jobs=failed_ids)
         result["audit"] = report.to_dict()
         if cluster.telemetry is not None:
             report.publish(cluster.telemetry.registry)
@@ -155,7 +210,7 @@ def run_chaos_point(point: ChaosPoint) -> dict:
 
 
 def _audit_with_backings(auditor, cluster, jobs, excused, job_contexts,
-                         retransmits):
+                         retransmits, excused_jobs=None):
     """Run the audit once per backing store with node-local contexts."""
     # The audit report's channel checks are global; only the backing
     # residual check needs per-node context maps.  Aggregate by running
@@ -166,15 +221,21 @@ def _audit_with_backings(auditor, cluster, jobs, excused, job_contexts,
         local = {}
         for job in jobs:
             for rank, jnode in job.rank_to_node.items():
-                if jnode == node_id:
+                if jnode != node_id:
+                    continue
+                try:   # a job can die mid-load: no record on the corpse
                     local[job.job_id] = (
                         cluster.nodeds[node_id].local_job(job.job_id).context)
+                except KeyError:
+                    pass
         report = auditor.report(excused_seqs=excused,
                                 backings=[glue.backing],
-                                stored_contexts=local)
+                                stored_contexts=local,
+                                excused_jobs=excused_jobs)
         violations += report.backing_violations
     report = auditor.report(excused_seqs=excused, job_contexts=job_contexts,
-                            retransmits=retransmits)
+                            retransmits=retransmits,
+                            excused_jobs=excused_jobs)
     return replace(report, backing_violations=violations)
 
 

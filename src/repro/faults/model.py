@@ -4,26 +4,61 @@ The paper's safety claim — the three-stage switch protocol "withstood
 thorough testing without packet loss" — is only meaningful against an
 adversary.  :class:`FaultSpec` is that adversary's configuration: a
 frozen, validated bundle of per-packet fault probabilities (link layer),
-an SRAM bit-flip rate (NIC layer), and per-switch daemon disruption
-probabilities (parpar layer).  All randomness is drawn from named
+an SRAM bit-flip rate (NIC layer), per-switch daemon disruption
+probabilities (parpar layer), and a schedule of *fail-stop* node deaths
+(cluster layer).  All randomness is drawn from named
 :class:`~repro.sim.rand.RandomStreams`, so a campaign is exactly
 reproducible from its seed.
 
 Only DATA and ACK packets are *faultable* at the link layer.  The
 HALT/READY packets of the flush protocol and explicit REFILL packets are
-exempt: the real protocols this models run them over mechanisms the
-fault campaign does not attack (the paper's flush counts halts over a
-lossless control path), and losing one would wedge the flush barrier or
-leak credits with no recovery protocol in scope — the interesting
-falsifiable property is the *data-path* no-loss/no-duplication claim.
+exempt — but the reason is narrower than it used to be.  The real
+protocols this models run them over mechanisms the per-packet fault
+campaign does not attack (the paper's flush counts halts over a lossless
+control path), so dropping an *individual* HALT would falsify a claim
+the paper never makes.  Whole-node failure is a different adversary and
+**is** in scope: a :attr:`FaultSpec.failstop` entry silences a node
+entirely — every future HALT, READY, heartbeat, ack and data packet from
+it — and the recovery protocol in :mod:`repro.parpar.recovery` (lease
+failure detector, barrier timeout + eviction, backing-store
+reintegration) is what keeps the cluster live through it.  The control
+path is exempt from packet-level lotteries, not from failure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.units import US
+
+
+@dataclass(frozen=True)
+class FailStop:
+    """One scheduled fail-stop node death (and optional rebirth).
+
+    At ``fail_at`` the node goes genuinely silent: the noded ignores all
+    control traffic, hosted processes die, the NIC powers off mid-stream
+    (installed contexts are paged out to the backing store first — the
+    store survives, modelling state on the node's disk).  If ``rejoin_at``
+    is set, a fresh noded re-registers with the masterd at that time and
+    the reintegration protocol restores and reconciles the stored
+    contexts.
+    """
+
+    node_id: int
+    fail_at: float
+    rejoin_at: float | None = None
+
+    def __post_init__(self):
+        if self.node_id < 0:
+            raise ConfigError(f"failstop node_id must be >= 0, got {self.node_id}")
+        if self.fail_at < 0:
+            raise ConfigError(f"fail_at must be >= 0, got {self.fail_at}")
+        if self.rejoin_at is not None and self.rejoin_at <= self.fail_at:
+            raise ConfigError(
+                f"rejoin_at ({self.rejoin_at}) must be after fail_at "
+                f"({self.fail_at})")
 
 
 @dataclass(frozen=True)
@@ -59,6 +94,9 @@ class FaultSpec:
     daemon_stall_max: float = 0.004
     #: Fixed cost of restarting a crashed daemon (CPU busy time).
     daemon_restart_time: float = 500 * US
+    #: Scheduled whole-node deaths (see :class:`FailStop`); seed-driven
+    #: schedules are built by the chaos layer before the spec is frozen.
+    failstop: tuple = field(default=())
 
     def __post_init__(self):
         for name in ("drop_rate", "dup_rate", "corrupt_rate", "jitter_rate",
@@ -74,6 +112,13 @@ class FaultSpec:
                      "daemon_restart_time"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
+        for entry in self.failstop:
+            if not isinstance(entry, FailStop):
+                raise ConfigError(
+                    f"failstop entries must be FailStop, got {entry!r}")
+        killed = [e.node_id for e in self.failstop]
+        if len(killed) != len(set(killed)):
+            raise ConfigError("failstop schedules one death per node at most")
 
     @property
     def link_faults(self) -> bool:
@@ -86,6 +131,12 @@ class FaultSpec:
         return self.daemon_stall_rate > 0 or self.daemon_crash_rate > 0
 
     @property
+    def node_faults(self) -> bool:
+        """Any whole-node fail-stop scheduled?"""
+        return len(self.failstop) > 0
+
+    @property
     def enabled(self) -> bool:
         """Any fault model active at all?"""
-        return self.link_faults or self.sram_flip_rate > 0 or self.daemon_faults
+        return (self.link_faults or self.sram_flip_rate > 0
+                or self.daemon_faults or self.node_faults)

@@ -155,6 +155,19 @@ class ReliableFirmware(LanaiFirmware):
         for packet in parked:
             yield from self._requeue(packet)
 
+    def power_off(self) -> None:
+        """Fail-stop: reliability state is host/SRAM resident and dies too.
+
+        A restarted node comes back with no memory of what it had sent or
+        seen — its peers' retransmit timers (running on *their* cards)
+        are the only recovery state that survives.  ``retransmitted_seqs``
+        is kept: it is audit metadata about history, not device state.
+        """
+        super().power_off()
+        self._unacked.clear()
+        self._parked.clear()
+        self._seen.clear()
+
     def forget_job(self, job_id: int) -> None:
         """Connection teardown: cancel reliability state for a dead job.
 

@@ -142,7 +142,34 @@ class GlueFM:
         if self.firmware.installed_context(job_id) is ctx:
             self.firmware.remove_context(ctx)
         self.firmware.forget_job(job_id)
+        self.backing.discard(job_id)   # stored-at-death jobs leave an image
         self.tracer.record("end-job", node=self.node.node_id, job=job_id)
+
+    def has_job(self, job_id: int) -> bool:
+        """Is a context initialised (installed or stored) for this job?"""
+        return job_id in self._contexts
+
+    def page_out_installed(self) -> list[int]:
+        """Crash path: save every installed context to the backing store.
+
+        Called by the noded at fail-stop, *before* the NIC powers off,
+        so the stored images fingerprint the queues exactly as they were
+        at the moment of death; reintegration restore-verifies against
+        these (contexts already stored have images from their last
+        switch-out).  Synchronous — death does not pay copy costs.
+        Returns the paged-out job ids.
+        """
+        self._require_init()
+        saved = []
+        for job_id in sorted(self._contexts):
+            ctx = self._contexts[job_id]
+            if self.firmware.installed_context(job_id) is ctx:
+                self.firmware.remove_context(ctx)
+                self.backing.save(ctx)
+                saved.append(job_id)
+        if saved:
+            self.tracer.record("page-out", node=self.node.node_id, jobs=saved)
+        return saved
 
     def context_of(self, job_id: int) -> FMContext:
         try:

@@ -96,6 +96,15 @@ class BackingStore:
         ctx.stats.restore_count += 1
         return image
 
+    def discard(self, job_id: int) -> bool:
+        """Drop a residual image without restoring it.
+
+        Teardown path for jobs that die while stored (a rank's node was
+        evicted): the image describes buffers that will never be switched
+        back in.  Returns whether anything was dropped.
+        """
+        return self._images.pop(job_id, None) is not None
+
     def has_image(self, job_id: int) -> bool:
         return job_id in self._images
 

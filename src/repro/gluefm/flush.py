@@ -19,10 +19,15 @@ Releasing after the switch uses the identical protocol with READY
 packets: broadcast readiness, collect p-1 READYs, only then re-open the
 send gate.
 
-Rounds repeat every gang quantum.  Counters are cumulative: a fast
-neighbour's HALT for round r+1 may land before this node even begins
-round r+1 (an "ah" edge from an S,0-equivalent state), and must be
-banked, never lost.
+Rounds repeat every gang quantum.  Counters are cumulative **per
+sender**: a fast neighbour's HALT for round r+1 may land before this
+node even begins round r+1 (an "ah" edge from an S,0-equivalent state),
+and must be banked, never lost.  Per-sender accounting (rather than one
+aggregate counter) is what makes the recovery path sound: when the
+masterd evicts a fail-stopped node mid-flush, :meth:`force_remove_node`
+discards exactly that sender's column and re-evaluates completion over
+the survivors — an aggregate count could not tell whose halts it was
+still waiting for.
 """
 
 from __future__ import annotations
@@ -48,13 +53,20 @@ class FlushProtocol:
         me = firmware.nic.node_id
         if me not in self._participants:
             raise ProtocolError(f"node {me} must be among the flush participants")
-        # Cumulative counters (see module docstring).
-        self._halts_received = 0
-        self._readys_received = 0
+        # Cumulative per-sender counters (see module docstring).
+        self._halts_from: dict[int, int] = {}
+        self._readys_from: dict[int, int] = {}
         self._halt_round = 0
         self._ready_round = 0
         self._flush_event: Optional[Event] = None
         self._release_event: Optional[Event] = None
+        #: HALT/READY packets from nodes outside the participant set —
+        #: in-flight control from an evicted node, tolerated and counted
+        #: rather than raised (the sender is dead; nobody can apologise).
+        self.stale_control = 0
+        #: participants discarded by :meth:`force_remove_node` while a
+        #: round was in progress (recovery-epoch diagnostics).
+        self.forced_removals = 0
         firmware.register_control_handler(PacketType.HALT, self._on_halt)
         firmware.register_control_handler(PacketType.READY, self._on_ready)
 
@@ -78,8 +90,80 @@ class FlushProtocol:
         if node_id == self.firmware.nic.node_id:
             raise ProtocolError("a node cannot remove itself from the flush set")
         self._participants.discard(node_id)
+        self._halts_from.pop(node_id, None)
+        self._readys_from.pop(node_id, None)
+
+    def force_remove_node(self, node_id: int) -> None:
+        """Evict a fail-stopped participant, even mid-flush.
+
+        The cooperative :meth:`remove_node` refuses topology changes while
+        a round is in progress because a live node's HALTs may already be
+        counted.  Eviction is different: the masterd has declared the node
+        dead, its HALT will never come, and every survivor would otherwise
+        wait forever.  Dropping the dead sender's columns and re-checking
+        completion over the survivors is exactly correct under per-sender
+        accounting — the survivors' own counts are untouched.
+        """
+        if node_id == self.firmware.nic.node_id:
+            raise ProtocolError("a node cannot evict itself from the flush set")
+        if node_id not in self._participants:
+            return  # already gone (duplicate eviction notice)
+        self._participants.discard(node_id)
+        self._halts_from.pop(node_id, None)
+        self._readys_from.pop(node_id, None)
+        self.forced_removals += 1
+        self.tracer.record("flush-force-remove", node=self.firmware.nic.node_id,
+                           removed=node_id, round=self._halt_round,
+                           mid_flush=self._flush_event is not None)
+        # The dead node may have been the only missing sender.
+        self._check_flush()
+        self._check_release()
+
+    def abandon_round(self) -> None:
+        """Fail-stop path: this node's daemon died mid-round.
+
+        Discards any in-progress flush/release events without completing
+        them — the interrupted switch process will never look at them —
+        so that the recovery-epoch :meth:`reset` at reintegration finds
+        an idle protocol.  Counters are left alone; only ``reset`` may
+        reconcile ``_halt_round`` with ``_ready_round``.
+        """
+        self._flush_event = None
+        self._release_event = None
+
+    def reset(self, participants: Iterable[int]) -> None:
+        """Recovery-epoch reset: new participant set, all counters zeroed.
+
+        Used at node reintegration: a rejoined node's round counters are
+        arbitrarily far behind its peers' (it was dead), so the masterd
+        resets *every* participant to round zero while no flush is in
+        flight — masterd op serialisation guarantees that window.
+        """
+        if self._flush_event is not None or self._release_event is not None:
+            raise ProtocolError("cannot reset the flush protocol mid-round")
+        new = set(participants)
+        if self.firmware.nic.node_id not in new:
+            raise ProtocolError(
+                f"node {self.firmware.nic.node_id} must be among the flush "
+                "participants")
+        self._participants = new
+        self._halts_from.clear()
+        self._readys_from.clear()
+        self._halt_round = 0
+        self._ready_round = 0
+        self.tracer.record("flush-reset", node=self.firmware.nic.node_id,
+                           participants=sorted(new))
 
     # ------------------------------------------------------------------ state (Fig. 3)
+    @property
+    def _halts_received(self) -> int:
+        """Aggregate cumulative HALT count (diagnostic view)."""
+        return sum(self._halts_from.values())
+
+    @property
+    def _readys_received(self) -> int:
+        return sum(self._readys_from.values())
+
     @property
     def state(self) -> tuple[str, int]:
         """Current (S|H, k) state of the in-progress round.
@@ -87,30 +171,29 @@ class FlushProtocol:
         ``k`` counts halted nodes we know of, including ourselves once we
         halted locally.
 
-        Audited arithmetic (the "ah-before-lh" edge): ``_halts_received``
-        is cumulative, so the in-round count subtracts the ``peers *
-        (round-1)`` halts that completed earlier rounds — deliberately
-        *not* ``peers * round``, which ``_check_flush`` compares against:
-        that is the completion threshold of the round in progress, not
-        the floor of halts already consumed.  The ``min(..., peers)`` cap
-        is load-bearing, not cosmetic: a fast neighbour's round-r+1 HALT
-        can land while our round r is still releasing (``_flush_event``
-        remains set until release completes), pushing the cumulative
-        count past this round's quota; the excess is *banked* for the
-        next round, and must not be reported as part of this one — the
-        paper's Figure 3 has no state beyond (H, p).  Symmetrically the
-        S-state bank below cannot go negative: round r only completes
-        once ``_halts_received >= peers * r``, so after completion the
-        difference is the (non-negative) early-arrival surplus.  The
-        property test in tests/property/test_flush_properties.py replays
-        this edge across rounds and asserts 0 <= k <= p throughout.
+        Audited arithmetic (the "ah-before-lh" edge): counts are
+        cumulative per sender, so a peer is "halted this round" exactly
+        when its count has reached ``_halt_round`` — a fast neighbour's
+        round-r+1 HALT raises its count *past* the current round without
+        being reported twice, which is the banking the aggregate-counter
+        formulation needed a ``min(..., peers)`` cap for.  In the S state
+        the bank is the surplus above completed rounds, summed over
+        senders; it cannot go negative because round r only completes
+        once every sender reached r.  The paper's Figure 3 has no state
+        beyond (H, p), and the property test in
+        tests/property/test_flush_properties.py replays the edge across
+        rounds asserting 0 <= k <= p throughout.
         """
-        in_round_halts = self._halts_received - self.peers * max(0, self._halt_round - 1)
         if self._flush_event is not None:
-            return ("H", min(in_round_halts, self.peers) + 1)
+            round_ = self._halt_round
+            halted_peers = sum(1 for n in self._participants
+                               if n != self.firmware.nic.node_id
+                               and self._halts_from.get(n, 0) >= round_)
+            return ("H", halted_peers + 1)
         # Not yet locally halted for the next round: banked halts only.
-        banked = self._halts_received - self.peers * self._halt_round
-        return ("S", max(0, banked))
+        banked = sum(max(0, count - self._halt_round)
+                     for count in self._halts_from.values())
+        return ("S", banked)
 
     @property
     def is_flushed(self) -> bool:
@@ -140,8 +223,15 @@ class FlushProtocol:
 
     def _on_halt(self, packet: Packet) -> None:
         if packet.src_node not in self._participants:
-            raise ProtocolError(f"HALT from non-participant {packet.src_node}")
-        self._halts_received += 1
+            # In-flight HALT from a node evicted out from under us (or
+            # one we never knew): count it, never wedge on it.
+            self.stale_control += 1
+            self.tracer.record("flush-stale-halt",
+                               node=self.firmware.nic.node_id,
+                               src=packet.src_node)
+            return
+        self._halts_from[packet.src_node] = \
+            self._halts_from.get(packet.src_node, 0) + 1
         self.tracer.record("flush-halt-arrived", node=self.firmware.nic.node_id,
                            src=packet.src_node, state=self.state)
         self._check_flush()
@@ -150,10 +240,13 @@ class FlushProtocol:
         ev = self._flush_event
         if ev is None or ev.triggered:
             return
-        if self._halts_received >= self.peers * self._halt_round:
+        me = self.firmware.nic.node_id
+        round_ = self._halt_round
+        if all(self._halts_from.get(n, 0) >= round_
+               for n in self._participants if n != me):
             # State (H, p): everyone halted; the network is flushed.
             self.tracer.record("flush-complete", node=self.firmware.nic.node_id,
-                               round=self._halt_round)
+                               round=round_)
             ev.succeed()
 
     # ------------------------------------------------------------------ release
@@ -176,17 +269,25 @@ class FlushProtocol:
 
     def _on_ready(self, packet: Packet) -> None:
         if packet.src_node not in self._participants:
-            raise ProtocolError(f"READY from non-participant {packet.src_node}")
-        self._readys_received += 1
+            self.stale_control += 1
+            self.tracer.record("flush-stale-ready",
+                               node=self.firmware.nic.node_id,
+                               src=packet.src_node)
+            return
+        self._readys_from[packet.src_node] = \
+            self._readys_from.get(packet.src_node, 0) + 1
         self._check_release()
 
     def _check_release(self) -> None:
         ev = self._release_event
         if ev is None or ev.triggered:
             return
-        if self._readys_received >= self.peers * self._ready_round:
+        me = self.firmware.nic.node_id
+        round_ = self._ready_round
+        if all(self._readys_from.get(n, 0) >= round_
+               for n in self._participants if n != me):
             self.tracer.record("release-complete", node=self.firmware.nic.node_id,
-                               round=self._ready_round)
+                               round=round_)
             ev.succeed()
             # Round fully over; allow the next begin_flush.
             self._flush_event = None

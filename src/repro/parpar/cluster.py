@@ -40,6 +40,7 @@ from repro.parpar.job import JobSpec, ParallelJob
 from repro.parpar.jobrep import JobRepresentative
 from repro.parpar.masterd import MasterDaemon
 from repro.parpar.noded import NodeDaemon
+from repro.parpar.recovery import RecoveryConfig, RecoveryStats, failstop_process
 from repro.sim.core import Simulator
 from repro.sim.rand import RandomStreams
 from repro.sim.trace import NullTracer, Tracer
@@ -76,12 +77,22 @@ class ClusterConfig:
     #: Ack/retransmit schedule; set (or defaulted by ``faults``) to load
     #: :class:`~repro.faults.retransmit.ReliableFirmware` on every NIC.
     retransmit: Optional[RetransmitPolicy] = None
+    #: Failure detection / eviction / reintegration knobs.  Defaulted
+    #: automatically whenever ``faults`` schedules a fail-stop — a node
+    #: death without recovery would simply wedge the cluster.
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self):
         if self.num_nodes <= 0 or self.time_slots <= 0:
             raise ConfigError("num_nodes and time_slots must be positive")
         if self.quantum <= 0:
             raise ConfigError("quantum must be positive")
+        if self.faults is not None:
+            for entry in self.faults.failstop:
+                if entry.node_id >= self.num_nodes:
+                    raise ConfigError(
+                        f"failstop node {entry.node_id} outside the cluster "
+                        f"(num_nodes={self.num_nodes})")
 
     def resolved_fm(self) -> FMConfig:
         """The FM configuration, with n and p tied to the cluster shape."""
@@ -96,6 +107,14 @@ class ClusterConfig:
     def resolved_switch(self) -> SwitchAlgorithm:
         return (self.switch_algorithm if self.switch_algorithm is not None
                 else ValidOnlyCopy())
+
+    def resolved_recovery(self) -> Optional[RecoveryConfig]:
+        """The recovery config — defaulted when fail-stops are scheduled."""
+        if self.recovery is not None:
+            return self.recovery
+        if self.faults is not None and self.faults.node_faults:
+            return RecoveryConfig()
+        return None
 
     def with_overrides(self, **kwargs) -> "ClusterConfig":
         return replace(self, **kwargs)
@@ -147,6 +166,11 @@ class ParParCluster:
         firmware_kwargs = ({"retransmit": retransmit}
                            if retransmit is not None else None)
 
+        self.recovery = config.resolved_recovery()
+        self.recovery_stats: Optional[RecoveryStats] = (
+            RecoveryStats(spans=self.spans) if self.recovery is not None
+            else None)
+
         noded_class = config.noded_class if config.noded_class is not None else NodeDaemon
         participants = list(range(config.num_nodes))
         for node_id in participants:
@@ -167,6 +191,7 @@ class ParParCluster:
                 resident_mode=not config.buffer_switching,
                 fault_injector=self.fault_injector,
                 spans=self.spans,
+                recovery=self.recovery,
             ))
             if (self.fault_injector is not None
                     and config.faults.sram_flip_rate > 0):
@@ -177,8 +202,21 @@ class ParParCluster:
         self.masterd = MasterDaemon(self.sim, self.control_net,
                                     num_nodes=config.num_nodes,
                                     num_slots=config.time_slots,
-                                    quantum=config.quantum)
+                                    quantum=config.quantum,
+                                    recovery=self.recovery,
+                                    recovery_stats=self.recovery_stats,
+                                    spans=self.spans)
         self.jobrep = JobRepresentative(self.sim, self.control_net)
+
+        # Seed-scheduled fail-stop deaths (and rebirths).
+        if config.faults is not None:
+            for entry in config.faults.failstop:
+                self.sim.process(
+                    failstop_process(self.sim, entry,
+                                     self.nodeds[entry.node_id],
+                                     self.masterd.detector,
+                                     self.recovery_stats),
+                    name=f"failstop-{entry.node_id}")
 
     # ------------------------------------------------------------------ driving
     def submit(self, spec: JobSpec, max_events: int = 10_000_000) -> ParallelJob:

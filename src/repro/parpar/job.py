@@ -19,6 +19,10 @@ from repro.fm.harness import Endpoint
 Workload = Callable[[Endpoint], Generator]
 
 
+#: Valid per-job failure policies (applied when a hosting node fail-stops).
+FAILURE_POLICIES = ("kill", "requeue")
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """What the user submits."""
@@ -26,10 +30,19 @@ class JobSpec:
     name: str
     num_procs: int
     workload: Workload
+    #: What the masterd does with this job when a node hosting one of its
+    #: ranks is evicted: ``"kill"`` retires it dead, ``"requeue"``
+    #: restarts it from scratch on a fresh DHC allocation (falling back
+    #: to kill if no capacity remains).
+    on_failure: str = "kill"
 
     def __post_init__(self):
         if self.num_procs <= 0:
             raise SchedulingError(f"job {self.name!r}: num_procs must be positive")
+        if self.on_failure not in FAILURE_POLICIES:
+            raise SchedulingError(
+                f"job {self.name!r}: on_failure must be one of "
+                f"{FAILURE_POLICIES}, got {self.on_failure!r}")
 
 
 class JobState(enum.Enum):
@@ -37,6 +50,8 @@ class JobState(enum.Enum):
     LOADING = "loading"       # nodeds are forking processes
     READY = "ready"           # all processes up, sync byte delivered
     FINISHED = "finished"
+    KILLED = "killed"         # a hosting node fail-stopped; policy = kill
+    REQUEUED = "requeued"     # restarted as a fresh incarnation elsewhere
 
 
 @dataclass
@@ -55,6 +70,10 @@ class ParallelJob:
     finished_nodes: set = field(default_factory=set)
     results: dict[int, Any] = field(default_factory=dict)  # rank -> workload return
     endpoints: dict[int, Endpoint] = field(default_factory=dict)  # rank -> endpoint
+    #: Set when a node eviction hit this job: the evicted node id.
+    failed_node: Optional[int] = None
+    #: Fresh incarnation's job id when the requeue policy restarted it.
+    requeued_as: Optional[int] = None
 
     @property
     def rank_to_node(self) -> dict[int, int]:

@@ -27,6 +27,9 @@ class GangMatrix:
             [None] * num_nodes for _ in range(num_slots)
         ]
         self._placements: dict[int, tuple[int, tuple[int, ...]]] = {}  # job -> (slot, nodes)
+        #: Columns of evicted (fail-stopped) nodes: unusable in every
+        #: slot until the node is readmitted.
+        self._excluded: set[int] = set()
 
     # ------------------------------------------------------------------ queries
     def job_at(self, slot: int, node: int) -> Optional[int]:
@@ -50,11 +53,21 @@ class GangMatrix:
 
     def free_nodes_in_slot(self, slot: int) -> list[int]:
         self._check(slot, 0)
-        return [n for n, job in enumerate(self._grid[slot]) if job is None]
+        excluded = self._excluded
+        return [n for n, job in enumerate(self._grid[slot])
+                if job is None and n not in excluded]
 
     @property
     def jobs(self) -> list[int]:
         return sorted(self._placements)
+
+    @property
+    def excluded_nodes(self) -> list[int]:
+        return sorted(self._excluded)
+
+    @property
+    def live_nodes(self) -> list[int]:
+        return [n for n in range(self.num_nodes) if n not in self._excluded]
 
     @property
     def occupied_slots(self) -> list[int]:
@@ -74,6 +87,10 @@ class GangMatrix:
             raise AllocationError(f"job {job_id} already placed")
         for node in nodes:
             self._check(slot, node)
+            if node in self._excluded:
+                raise AllocationError(
+                    f"node {node} is evicted; cannot place job {job_id} on it"
+                )
             if self._grid[slot][node] is not None:
                 raise AllocationError(
                     f"cell (slot {slot}, node {node}) already holds job "
@@ -90,6 +107,33 @@ class GangMatrix:
         del self._placements[job_id]
         return slot, nodes
 
+    # ------------------------------------------------------------------ recovery
+    def evict_node(self, node: int) -> list[int]:
+        """Remove a fail-stopped node's column from the schedule.
+
+        Every job with a rank on the node is removed from the matrix (its
+        fate — kill or requeue — is the masterd's per-job policy, not the
+        matrix's concern) and the column becomes unusable in every slot
+        until :meth:`readmit_node`.  Returns the affected job ids, sorted
+        for deterministic policy application.
+        """
+        self._check(0, node)
+        if node in self._excluded:
+            raise SchedulingError(f"node {node} already evicted")
+        affected = sorted(job_id for job_id, (_slot, nodes)
+                          in self._placements.items() if node in nodes)
+        for job_id in affected:
+            self.remove(job_id)
+        self._excluded.add(node)
+        return affected
+
+    def readmit_node(self, node: int) -> None:
+        """Reintegration: the node's column becomes allocatable again."""
+        self._check(0, node)
+        if node not in self._excluded:
+            raise SchedulingError(f"node {node} is not evicted")
+        self._excluded.discard(node)
+
     def _check(self, slot: int, node: int) -> None:
         if not 0 <= slot < self.num_slots:
             raise SchedulingError(f"slot {slot} out of range [0, {self.num_slots})")
@@ -104,7 +148,8 @@ class GangMatrix:
         lines.append(header)
         for s, row in enumerate(self._grid):
             cells = "".join(
-                f"{'.' if j is None else j:>{width}}" for j in row
+                f"{'x' if n in self._excluded else '.' if j is None else j:>{width}}"
+                for n, j in enumerate(row)
             )
             lines.append(f"{s:>4}{cells}")
         return "\n".join(lines)

@@ -17,6 +17,15 @@ control network and performs the node-local halves of the protocols:
 In ``resident`` mode (the original-FM baseline) contexts stay installed
 on the NIC permanently — the static partitioning makes them all fit — and
 a slot switch is just SIGSTOP/SIGCONT with no network flush or copying.
+
+With recovery enabled the noded also renews its lease (heartbeats), and
+implements the node-local halves of the failure protocols: *fail-stop*
+(processes die, installed contexts are paged out, the NIC powers off,
+and the daemon goes silent mid-anything), *eviction of a peer* (drop it
+from the flush set, possibly unwedging an in-progress round), *job
+kill* (teardown ordered by the masterd's failure policy), and
+*reintegration* (restore-verify stored contexts, reset the flush
+protocol to the new participant set, resynchronise the active slot).
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.errors import SchedulingError
+from repro.errors import InterruptError, SchedulingError
 from repro.fm.api import FMLibrary
 from repro.fm.buffers import BufferPolicy
 from repro.fm.context import FMContext
@@ -35,6 +44,7 @@ from repro.hardware.ethernet import ControlNetwork
 from repro.hardware.node import HostNode
 from repro.metrics.counters import SwitchRecord, SwitchRecorder
 from repro.parpar.job import Workload
+from repro.parpar.recovery import RecoveryConfig
 from repro.sim.core import Event, Simulator
 from repro.sim.process import Process
 from repro.units import US
@@ -67,7 +77,7 @@ class NodeDaemon:
                  control_net: ControlNetwork, master_endpoint: int,
                  policy: BufferPolicy, recorder: SwitchRecorder,
                  resident_mode: bool = False, fault_injector=None,
-                 spans=None):
+                 spans=None, recovery: Optional[RecoveryConfig] = None):
         self.sim = sim
         #: Chaos-campaign hook: consulted once per switch for daemon
         #: stall/crash disruptions (see repro.faults.injector).
@@ -82,30 +92,88 @@ class NodeDaemon:
         self.policy = policy
         self.recorder = recorder
         self.resident_mode = resident_mode
+        self.recovery = recovery
         self.current_slot = 0
+        #: True between fail_stop() and rejoin(): the daemon is dead —
+        #: inbound control traffic is dropped, nothing is ever sent.
+        self.failed = False
+        self.dropped_messages = 0
         self._slot_jobs: dict[int, int] = {}   # slot -> job_id on this node
         self._jobs: dict[int, _LocalJob] = {}  # job_id -> local record
+        #: In-flight daemon operations (loads, switches, teardowns);
+        #: interrupted wholesale at fail-stop — a dead daemon finishes
+        #: nothing.  Application processes are suspended, not tracked
+        #: here.
+        self._daemon_procs: list[Process] = []
+        self._switching = False
+        self._switch_idle_waiters: list[Event] = []
+        self._switches_started: set[int] = set()
+        self._switches_done: set[int] = set()
+        #: Tombstones for jobs the masterd killed; checked by a load
+        #: still in flight when the kill arrived.
+        self._killed_jobs: set[int] = set()
         control_net.register(node.node_id, self._on_message)
+        if recovery is not None:
+            sim.process(self._heartbeat_loop(),
+                        name=f"noded{node.node_id}-heartbeat")
 
     # ------------------------------------------------------------------ dispatch
     def _on_message(self, src: int, message) -> None:
+        if self.failed:
+            self.dropped_messages += 1
+            return
         kind = message[0]
         if kind == "load-job":
             _, job_id, slot, rank, rank_to_node, workload = message
-            self.sim.process(self._load_job(job_id, slot, rank, rank_to_node, workload),
-                             name=f"noded{self.node.node_id}-load-j{job_id}")
+            self._spawn(self._load_job(job_id, slot, rank, rank_to_node, workload),
+                        name=f"noded{self.node.node_id}-load-j{job_id}")
         elif kind == "job-sync":
             self._jobs[message[1]].sync_event.succeed()
         elif kind == "switch-slot":
             _, sequence, old_slot, new_slot = message
-            self.sim.process(self._switch(sequence, old_slot, new_slot),
-                             name=f"noded{self.node.node_id}-switch{sequence}")
+            self._spawn(self._switch(sequence, old_slot, new_slot),
+                        name=f"noded{self.node.node_id}-switch{sequence}")
         elif kind == "end-job":
-            self.sim.process(self._end_job(message[1]),
-                             name=f"noded{self.node.node_id}-end-j{message[1]}")
+            self._spawn(self._end_job(message[1]),
+                        name=f"noded{self.node.node_id}-end-j{message[1]}")
+        elif kind == "kill-job":
+            self._spawn(self._kill_job(message[1]),
+                        name=f"noded{self.node.node_id}-kill-j{message[1]}")
+        elif kind == "evict-node":
+            # A peer died: drop it from the flush set.  This may complete
+            # a round this node is currently blocked in.
+            self.glue.flush.force_remove_node(message[1])
+        elif kind == "reintegrate":
+            _, new_node, participants = message
+            self.glue.flush.reset(list(participants))
+            self._send_master(("reintegrated", self.node.node_id, 0, 0))
+        elif kind == "rejoin-ack":
+            _, active_slot, participants, dead_jobs = message
+            self._spawn(self._reintegrate(active_slot, participants, dead_jobs),
+                        name=f"noded{self.node.node_id}-reintegrate")
         else:
             raise SchedulingError(f"noded {self.node.node_id}: unknown message "
                                   f"{message!r}")
+
+    def _spawn(self, gen, name: str) -> Process:
+        """Run a daemon operation as a process, tracked for fail-stop."""
+        if len(self._daemon_procs) > 32:
+            self._daemon_procs = [p for p in self._daemon_procs if p.is_alive]
+        proc = self.sim.process(self._guarded(gen), name=name)
+        self._daemon_procs.append(proc)
+        return proc
+
+    @staticmethod
+    def _guarded(gen):
+        try:
+            yield from gen
+        except InterruptError:
+            pass  # fail-stop: the daemon died mid-operation
+
+    def _send_master(self, message) -> None:
+        if self.failed:
+            return  # a dead daemon answers nothing
+        self.control_net.send(self.node.node_id, self.master_endpoint, message)
 
     # ------------------------------------------------------------------ job loading
     def _load_job(self, job_id: int, slot: int, rank: int,
@@ -119,6 +187,12 @@ class NodeDaemon:
         ctx, env = yield from self.glue.COMM_init_job(
             job_id, rank, rank_to_node, self.policy, install=install)
         yield self.node.cpu.busy(self.FORK_TIME)
+        if job_id in self._killed_jobs:
+            # The masterd killed this job while the fork was in flight
+            # (a co-hosting node died).  Unwind quietly; the masterd
+            # already counts this node out of the job.
+            yield from self.glue.COMM_end_job(job_id)
+            return
         local = _LocalJob(job_id=job_id, slot=slot, rank=rank, context=ctx,
                           workload=workload, sync_event=Event(self.sim))
         proc = self.sim.process(self._app_main(local, env),
@@ -129,8 +203,7 @@ class NodeDaemon:
         local.process = proc
         self._jobs[job_id] = local
         self._slot_jobs[slot] = job_id
-        self.control_net.send(self.node.node_id, self.master_endpoint,
-                              ("loaded", job_id, self.node.node_id))
+        self._send_master(("loaded", job_id, self.node.node_id))
 
     def _app_main(self, local: _LocalJob, env: dict[str, str]):
         """The forked user process: FM_initialize, then the workload."""
@@ -149,12 +222,39 @@ class NodeDaemon:
             raise event.value  # surface workload crashes loudly
         local.finished = True
         local.result = event.value
-        self.control_net.send(self.node.node_id, self.master_endpoint,
-                              ("job-finished", local.job_id, self.node.node_id,
-                               local.rank, local.result))
+        self._send_master(("job-finished", local.job_id, self.node.node_id,
+                           local.rank, local.result))
 
     # ------------------------------------------------------------------ switching
     def _switch(self, sequence: int, old_slot: int, new_slot: int):
+        if sequence in self._switches_started:
+            # A masterd barrier retry.  If the original already finished,
+            # its ack raced the retry — just re-ack; otherwise the switch
+            # is still in progress and will ack when done.
+            if sequence in self._switches_done:
+                self._send_master(("switch-done", sequence, self.node.node_id))
+            return
+        self._switches_started.add(sequence)
+        self._switching = True
+        try:
+            yield from self._run_switch(sequence, old_slot, new_slot)
+            self._switches_done.add(sequence)
+            self._send_master(("switch-done", sequence, self.node.node_id))
+        finally:
+            self._switching = False
+            if self._switch_idle_waiters:
+                waiters, self._switch_idle_waiters = self._switch_idle_waiters, []
+                for waiter in waiters:
+                    waiter.succeed()
+
+    def _switch_idle(self):
+        """Wait until no switch is in flight on this node (generator)."""
+        while self._switching:
+            gate = Event(self.sim)
+            self._switch_idle_waiters.append(gate)
+            yield gate
+
+    def _run_switch(self, sequence: int, old_slot: int, new_slot: int):
         injector = self.fault_injector
         if injector is not None:
             # Daemon disruption: the switch message sat in a stalled (or
@@ -231,8 +331,6 @@ class NodeDaemon:
                        else self.glue.switch_algorithm.name),
             started_at=started,
         ))
-        self.control_net.send(self.node.node_id, self.master_endpoint,
-                              ("switch-done", sequence, self.node.node_id))
 
     # ------------------------------------------------------------------ teardown
     def _end_job(self, job_id: int):
@@ -244,8 +342,113 @@ class NodeDaemon:
                                   f"unknown job {job_id}")
         del self._slot_jobs[local.slot]
         yield from self.glue.COMM_end_job(job_id)
-        self.control_net.send(self.node.node_id, self.master_endpoint,
-                              ("ended", job_id, self.node.node_id))
+        self._send_master(("ended", job_id, self.node.node_id))
+
+    def _kill_job(self, job_id: int):
+        """Masterd-ordered teardown of a job that lost a rank elsewhere.
+
+        Serialised after any in-flight switch: the context teardown must
+        not race ``COMM_context_switch`` on this node.
+        """
+        yield from self._switch_idle()
+        self._killed_jobs.add(job_id)
+        local = self._jobs.get(job_id)
+        if local is None:
+            # The kill raced the load-job; _load_job sees the tombstone
+            # and unwinds itself.  Ack now — there is nothing to tear down.
+            self._send_master(("killed", job_id, self.node.node_id))
+            return
+        if self._slot_jobs.get(local.slot) == job_id:
+            del self._slot_jobs[local.slot]
+        proc = local.process
+        if proc is not None and proc.is_alive:
+            yield self.node.cpu.busy(self.SIGNAL_TIME)
+            proc.suspend()  # SIGKILL: stopped and never continued
+        if self.glue.has_job(job_id):
+            yield from self.glue.COMM_end_job(job_id)
+        self._send_master(("killed", job_id, self.node.node_id))
+
+    # ------------------------------------------------------------------ fail-stop
+    def fail_stop(self) -> None:
+        """Kill the node: daemon ops die, processes stop, the NIC goes dark.
+
+        Installed contexts are paged out to the backing store *before*
+        the card powers off, so the stored images fingerprint the queues
+        exactly as they were at the moment of death — reintegration
+        later restore-verifies against these (the residual-integrity
+        audit).  The store models state on the node's local disk, which
+        survives the crash.  Idempotent.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        for proc in self._daemon_procs:
+            if proc.is_alive:
+                proc.interrupt("fail-stop")
+        self._daemon_procs.clear()
+        for local in self._jobs.values():
+            if local.process is not None and local.process.is_alive:
+                local.process.suspend()
+        self._switching = False
+        self._switch_idle_waiters.clear()
+        self.glue.flush.abandon_round()
+        self.glue.page_out_installed()
+        self.glue.firmware.power_off()
+
+    def rejoin(self) -> None:
+        """Restart after a fail-stop: power the NIC and re-register.
+
+        The masterd answers with ``rejoin-ack`` carrying the active
+        slot, the new participant set, and the jobs this node hosted
+        that died with it; :meth:`_reintegrate` finishes the protocol.
+        Idempotent (no-op unless failed).
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.glue.firmware.power_on()
+        self._send_master(("register", self.node.node_id))
+
+    def _reintegrate(self, active_slot: int, participants, dead_jobs):
+        """Node-local half of reintegration (a daemon process).
+
+        Every stored context is restore-verified against the image paged
+        out at death — a mismatch raises ContextSwitchError, failing the
+        run loudly — then discarded: the cluster already applied the
+        failure policies, so these incarnations are gone regardless.
+        """
+        restored = discarded = 0
+        for job_id in dead_jobs:
+            local = self._jobs.get(job_id)
+            if local is not None and self._slot_jobs.get(local.slot) == job_id:
+                del self._slot_jobs[local.slot]
+            self._killed_jobs.add(job_id)
+            if not self.glue.has_job(job_id):
+                continue
+            if self.glue.backing.has_image(job_id):
+                self.glue.backing.restore(self.glue.context_of(job_id))
+                restored += 1
+            else:
+                discarded += 1
+            yield from self.glue.COMM_end_job(job_id)
+        self.glue.flush.reset(list(participants))
+        self.current_slot = active_slot
+        self._send_master(("reintegrated", self.node.node_id,
+                           restored, discarded))
+
+    def _heartbeat_loop(self):
+        """Lease renewal: one unicast per interval, silent while failed.
+
+        Deliberately *not* a tracked daemon proc — it must survive the
+        fail-stop (the ``failed`` flag gates it) so the restarted daemon
+        resumes breathing without respawning anything.
+        """
+        interval = self.recovery.heartbeat_interval
+        while True:
+            yield interval
+            if not self.failed:
+                self.control_net.send(self.node.node_id, self.master_endpoint,
+                                      ("heartbeat", self.node.node_id))
 
     # ------------------------------------------------------------------ inspection
     def local_job(self, job_id: int) -> _LocalJob:

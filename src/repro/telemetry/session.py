@@ -153,6 +153,24 @@ def harvest_faults(registry: MetricsRegistry, injector) -> None:
         registry.counter(f"faults.{name}").inc(value)
 
 
+def harvest_recovery(registry: MetricsRegistry, stats) -> None:
+    """Fold the recovery layer's counters and detection latencies.
+
+    Detection latencies land in a ``recovery.detection_latency``
+    histogram (seconds); everything else is a ``recovery.*`` counter.
+    The flat ``detection_latency_count``/``_total`` counters from
+    :meth:`RecoveryStats.counters` are skipped — the histogram already
+    carries count and sum.
+    """
+    for name, value in stats.counters().items():
+        if name.startswith("detection_latency"):
+            continue
+        registry.counter(f"recovery.{name}").inc(value)
+    hist = registry.histogram("recovery.detection_latency")
+    for latency in stats.detection_latencies:
+        hist.observe(latency)
+
+
 def harvest_cluster(telemetry: Telemetry, cluster) -> None:
     """Fold one ParParCluster's deterministic counters into the registry."""
     registry = telemetry.registry
@@ -161,6 +179,8 @@ def harvest_cluster(telemetry: Telemetry, cluster) -> None:
     harvest_switches(registry, cluster.recorder)
     if cluster.fault_injector is not None:
         harvest_faults(registry, cluster.fault_injector)
+    if getattr(cluster, "recovery_stats", None) is not None:
+        harvest_recovery(registry, cluster.recovery_stats)
     registry.counter("sim.events").inc(cluster.sim.processed_events)
     registry.gauge("sim.seconds").add(cluster.sim.now)
 

@@ -115,8 +115,8 @@ class TestChannelChecks:
         assert set(d) == {"packets_sent", "packets_delivered", "lost",
                           "duplicated", "fifo_violations",
                           "reordered_by_retransmit", "credit_violations",
-                          "backing_violations", "channels", "retransmits",
-                          "ok"}
+                          "backing_violations", "channels",
+                          "excused_channels", "retransmits", "ok"}
 
 
 class TestCreditLedger:

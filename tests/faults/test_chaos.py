@@ -71,6 +71,71 @@ class TestFaultyRuns:
         assert "drops" in text and "audit" in text
 
 
+class TestFailStopCampaigns:
+    """Fail-stop chaos: seed-drawn node deaths through the recovery
+    subsystem, with the audit excusing exactly the dead jobs."""
+
+    def failstop_point(self, **overrides):
+        base = dict(rounds=600, failstops=1)
+        base.update(overrides)
+        return small_point(**base)
+
+    def test_schedule_is_seed_deterministic(self):
+        point = self.failstop_point()
+        schedule = point.failstop_schedule()
+        assert schedule == point.failstop_schedule()
+        assert len(schedule) == 1
+        fs = schedule[0]
+        # Corpses come from the expendable upper half, mid-run.
+        assert fs.node_id in (2, 3)
+        assert 3 * point.quantum <= fs.fail_at <= 8 * point.quantum
+        assert fs.rejoin_at is None
+        other = self.failstop_point(seed=99).failstop_schedule()
+        assert other != schedule
+
+    def test_rejoin_schedules_restart_after_death(self):
+        [fs] = self.failstop_point(rejoin=True).failstop_schedule()
+        assert fs.rejoin_at == pytest.approx(fs.fail_at + 5 * 0.004)
+
+    def test_too_many_failstops_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="expendable"):
+            self.failstop_point(failstops=3).failstop_schedule()
+
+    def test_job_width_halves_under_failstops(self):
+        assert small_point().job_width() == 4
+        assert self.failstop_point().job_width() == 2
+
+    def test_failstop_kill_policy_audits_survivors(self):
+        # jobs=4 fills the matrix (two 2-wide jobs per slot), so the
+        # corpse is guaranteed to carry ranks — whatever node the seed
+        # draws — and the kill policy must fire.
+        result = run_chaos_point(self.failstop_point(jobs=4))
+        assert result["error"] is None
+        recovery = result["recovery"]
+        assert recovery["failstops_injected"] == 1
+        assert recovery["evictions"] == 1
+        assert recovery["jobs_killed"] >= 1
+        assert result["failed_jobs"] >= 1
+        assert result["audit"]["ok"], result["audit"]
+        assert result["audit"]["excused_channels"] > 0
+
+    def test_failstop_rejoin_requeue_full_recovery(self):
+        # seed=1 places a job on the upper node half with spare matrix
+        # capacity left, so the death triggers a requeue (not the
+        # no-capacity kill fallback) and the rejoin reintegrates.
+        result = run_chaos_point(self.failstop_point(seed=1, rejoin=True,
+                                                     requeue=True))
+        assert result["error"] is None
+        recovery = result["recovery"]
+        assert recovery["evictions"] == 1
+        assert recovery["reintegrations"] == 1
+        assert recovery["jobs_requeued"] == 1
+        assert recovery["jobs_killed"] == 0
+        assert result["audit"]["ok"], result["audit"]
+
+
 class TestSeeding:
     def test_same_seed_same_report(self):
         a = run_chaos_point(small_point(drop=0.02, dup=0.01))

@@ -1,0 +1,101 @@
+"""Property-based tests: eviction/readmission never corrupt the matrix.
+
+The recovery layer leans on two :class:`GangMatrix` operations —
+``evict_node`` (remove a fail-stopped column, cascade to the jobs that
+had a rank there) and ``readmit_node`` (reintegration).  Interleaved
+arbitrarily with DHC allocations and normal job retirement, the matrix
+must keep every structural invariant: exclusive cell ownership,
+placement/grid agreement, no placement ever touching an evicted column,
+and full capacity restored once every corpse is readmitted.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, SchedulingError
+from repro.parpar.dhc import DHCAllocator
+from repro.parpar.matrix import GangMatrix
+
+NODES = 16
+SLOTS = 4
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=NODES)),
+        st.tuples(st.just("evict"), st.integers(min_value=0, max_value=NODES - 1)),
+        st.tuples(st.just("readmit"), st.integers(min_value=0, max_value=NODES - 1)),
+        st.tuples(st.just("finish"), st.integers(min_value=0, max_value=79)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_evict_readmit_preserves_matrix_invariants(ops):
+    matrix = GangMatrix(num_nodes=NODES, num_slots=SLOTS)
+    allocator = DHCAllocator(matrix)
+    placed = {}       # job_id -> (slot, nodes) mirror of the matrix
+    evicted = set()
+    next_id = 0
+
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                slot, nodes = allocator.allocate(next_id, arg)
+            except AllocationError:
+                continue
+            assert not set(nodes) & evicted  # never placed on a corpse
+            placed[next_id] = (slot, tuple(nodes))
+            next_id += 1
+        elif op == "evict":
+            if arg in evicted:
+                with pytest.raises(SchedulingError):
+                    matrix.evict_node(arg)
+                continue
+            affected = matrix.evict_node(arg)
+            evicted.add(arg)
+            # Exactly the jobs with a rank on the corpse, sorted, and
+            # they are gone from the schedule.
+            assert affected == sorted(
+                j for j, (_s, ns) in placed.items() if arg in ns)
+            for job_id in affected:
+                placed.pop(job_id)
+        elif op == "readmit":
+            if arg not in evicted:
+                with pytest.raises(SchedulingError):
+                    matrix.readmit_node(arg)
+                continue
+            matrix.readmit_node(arg)
+            evicted.discard(arg)
+        elif op == "finish":
+            if arg in placed:
+                slot, nodes = placed.pop(arg)
+                assert matrix.remove(arg) == (slot, nodes)
+
+        # ---- invariants hold after *every* operation ----
+        assert set(matrix.excluded_nodes) == evicted
+        assert matrix.live_nodes == [n for n in range(NODES)
+                                     if n not in evicted]
+        seen = set()
+        for job_id, (slot, nodes) in placed.items():
+            assert matrix.placement_of(job_id) == (slot, nodes)
+            for node in nodes:
+                assert node not in evicted
+                assert matrix.job_at(slot, node) == job_id
+                assert (slot, node) not in seen  # exclusive ownership
+                seen.add((slot, node))
+        used = sum(len(nodes) for _s, nodes in placed.values())
+        assert matrix.utilization() == used / (NODES * SLOTS)
+        for slot in range(SLOTS):
+            assert not set(matrix.free_nodes_in_slot(slot)) & evicted
+
+    # Full recovery: readmit every corpse, retire every job — the whole
+    # machine is allocatable again, down to a matrix-wide gang.
+    for node in sorted(evicted):
+        matrix.readmit_node(node)
+    for job_id in list(placed):
+        matrix.remove(job_id)
+    slot, nodes = allocator.allocate(100_000, NODES)
+    assert nodes == list(range(NODES))

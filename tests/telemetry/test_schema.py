@@ -98,3 +98,67 @@ class TestSnapshotContract:
         snap = self._snapshot()
         snap["metrics"]["c"]["kind"] = "exotic"
         assert validate_snapshot(snap)
+
+
+class TestRecoveryContract:
+    """Recovery counters, the detection-latency histogram, and the
+    recovery-* spans have *named* entries in the snapshot schema, so a
+    harvested snapshot is checked against them — not just against the
+    catch-all additionalProperties shape."""
+
+    def _snapshot(self):
+        from repro.parpar.recovery import RecoveryStats
+        from repro.telemetry.session import harvest_recovery
+
+        reg = MetricsRegistry()
+        stats = RecoveryStats()
+        stats.failstops_injected = 1
+        stats.suspicions = 1
+        stats.evictions = 1
+        stats.reintegrations = 1
+        stats.jobs_requeued = 1
+        stats.detection_latencies.append(0.0098)
+        harvest_recovery(reg, stats)
+        return {
+            "schema": "repro-telemetry/1",
+            "metrics": reg.snapshot(),
+            "profile": {"events": 0, "components": {}},
+            "spans": {
+                "count": 3,
+                "by_name": {
+                    "recovery-detect": {"count": 1, "total_seconds": 0.0098},
+                    "recovery-evict": {"count": 1, "total_seconds": 0.002},
+                    "recovery-reintegrate": {"count": 1,
+                                             "total_seconds": 0.02},
+                },
+            },
+        }
+
+    def test_harvested_recovery_snapshot_passes(self):
+        snap = self._snapshot()
+        assert "recovery.evictions" in snap["metrics"]
+        assert snap["metrics"]["recovery.detection_latency"]["count"] == 1
+        assert validate_snapshot(snap) == []
+
+    def test_recovery_counter_with_wrong_kind_fails(self):
+        snap = self._snapshot()
+        snap["metrics"]["recovery.evictions"]["kind"] = "gauge"
+        errors = validate_snapshot(snap)
+        assert any("recovery.evictions" in e for e in errors)
+
+    def test_negative_eviction_count_fails(self):
+        snap = self._snapshot()
+        snap["metrics"]["recovery.evictions"]["value"] = -1
+        assert validate_snapshot(snap)
+
+    def test_detection_latency_must_be_a_histogram(self):
+        snap = self._snapshot()
+        snap["metrics"]["recovery.detection_latency"] = {
+            "kind": "counter", "value": 1}
+        assert validate_snapshot(snap)
+
+    def test_recovery_span_requires_total_seconds(self):
+        snap = self._snapshot()
+        del snap["spans"]["by_name"]["recovery-evict"]["total_seconds"]
+        errors = validate_snapshot(snap)
+        assert any("recovery-evict" in e for e in errors)

@@ -66,6 +66,21 @@ class TestChaosDeterminism:
         assert serial == pooled
         assert serial[0] != serial[1]  # per-run seeds genuinely differ
 
+    def test_failstop_campaign_serial_equals_parallel(self):
+        """Node deaths, eviction, requeue, and reintegration all run off
+        seeded streams and simulated time, so a fail-stop campaign is as
+        reproducible as a fault-free one — byte-identical fanned out."""
+        from repro.faults.chaos import ChaosPoint, run_chaos_campaign
+
+        point = ChaosPoint(seed=3, nodes=4, time_slots=2, jobs=2,
+                           quantum=0.004, rounds=600, message_bytes=1024,
+                           failstops=1, rejoin=True, requeue=True)
+        serial = run_chaos_campaign(point, runs=2, workers=1)
+        pooled = run_chaos_campaign(point, runs=2, workers=2)
+        assert serial == pooled
+        assert all(r["recovery"]["evictions"] == 1 for r in serial)
+        assert all(r["audit"]["ok"] for r in serial)
+
 
 class TestParallelDeterminism:
     """The parallel sweep executor must be an implementation detail:
