@@ -1,0 +1,37 @@
+"""simlint: determinism & protocol-safety analysis for the reproduction.
+
+Two tools live here:
+
+- the **static analyser** (:mod:`~repro.analysis.simlint.core` engine +
+  :mod:`~repro.analysis.simlint.rules` SIM001–SIM010), run via
+  ``python -m repro lint``;
+- the **dynamic buffer-ownership race detector**
+  (:mod:`~repro.analysis.simlint.racecheck`), run via
+  ``python -m repro racecheck``.
+
+See ``RULES.md`` in this package for the rule catalogue and
+EXPERIMENTS.md for workflow documentation.
+"""
+
+from repro.analysis.simlint.core import (  # noqa: F401
+    Finding,
+    LintResult,
+    ModuleUnderLint,
+    Rule,
+    all_rules,
+    lint_module,
+    lint_paths,
+)
+from repro.analysis.simlint.report import (  # noqa: F401
+    diff_against_baseline,
+    load_baseline,
+    render_baseline,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding", "LintResult", "ModuleUnderLint", "Rule", "all_rules",
+    "lint_module", "lint_paths", "diff_against_baseline", "load_baseline",
+    "render_baseline", "render_json", "render_text",
+]

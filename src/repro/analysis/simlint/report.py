@@ -1,0 +1,104 @@
+"""simlint reporters and the CI baseline protocol.
+
+Two output formats, both stable (findings pre-sorted by the engine):
+
+- **text** — one ``path:line:col: CODE [severity] message`` line per
+  finding plus a summary line, for humans;
+- **json** — a versioned document with the finding list and per-rule
+  counts, for CI artifacts and machine diffing.
+
+The **baseline** protocol lets CI fail only on *new* findings: a
+checked-in ``schemas/simlint_baseline.json`` records finding counts per
+``(path, rule)`` key.  :func:`diff_against_baseline` compares a fresh
+run against it — a key whose count grew (or is new) is a regression; a
+key that shrank or vanished is progress and never fails the gate.
+Counts (not line numbers) make the baseline robust to unrelated edits
+shifting code up or down a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.simlint.core import LintResult
+
+#: Bump when the JSON document shape changes incompatibly.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding, then a summary."""
+    lines = [f.render() for f in result.findings]
+    for path, message in sorted(result.parse_errors):
+        lines.append(f"{path}:1:0: PARSE [error] {message}")
+    lines.append(
+        f"simlint: {result.files} files, {result.errors} errors, "
+        f"{result.warnings} warnings"
+        + (f", {len(result.parse_errors)} unparsable" if result.parse_errors
+           else ""))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, trailing newline)."""
+    by_rule: dict = {}
+    for f in result.findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    doc = {
+        "version": REPORT_VERSION,
+        "files": result.files,
+        "errors": result.errors,
+        "warnings": result.warnings,
+        "parse_errors": [{"path": p, "message": m}
+                         for p, m in sorted(result.parse_errors)],
+        "counts_by_rule": dict(sorted(by_rule.items())),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+# -------------------------------------------------------------------- baseline
+def baseline_counts(result: LintResult) -> dict:
+    """``"path::RULE" -> count`` for every finding in ``result``."""
+    counts: dict = {}
+    for f in result.findings:
+        key = f"{f.path}::{f.rule}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def render_baseline(result: LintResult) -> str:
+    doc = {
+        "version": REPORT_VERSION,
+        "counts": dict(sorted(baseline_counts(result).items())),
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def load_baseline(path: Path) -> dict:
+    """Counts map from a baseline file; empty when the file is absent."""
+    if not path.exists():
+        return {}
+    doc = json.loads(path.read_text())
+    return dict(doc.get("counts", {}))
+
+
+def diff_against_baseline(result: LintResult,
+                          baseline: Optional[dict]) -> list:
+    """New-finding keys: present keys whose count exceeds the baseline.
+
+    Returns sorted ``(key, baseline_count, new_count)`` tuples; empty
+    means the gate passes.  Improvements (shrunk or vanished keys) are
+    deliberately not reported — ratcheting down is always allowed.
+    """
+    if not baseline:
+        baseline = {}
+    current = baseline_counts(result)
+    regressions = []
+    for key in sorted(current):
+        allowed = int(baseline.get(key, 0))
+        if current[key] > allowed:
+            regressions.append((key, allowed, current[key]))
+    return regressions

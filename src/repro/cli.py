@@ -123,6 +123,48 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fast CI preset; exits non-zero on any violation "
                          "(combine with --failstop for the recovery preset)")
     _add_telemetry(pc)
+
+    pl = sub.add_parser(
+        "lint",
+        help="simlint: determinism & protocol-safety static analysis")
+    pl.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                    help="files or directories to lint "
+                         "(default: the repro package)")
+    pl.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format (json is stable for CI diffing)")
+    pl.add_argument("--fail-on", choices=("error", "warning"),
+                    default="error", dest="fail_on",
+                    help="exit non-zero when findings at or above this "
+                         "severity survive the baseline")
+    pl.add_argument("--baseline", metavar="FILE", default=None,
+                    help="baseline JSON of accepted findings; only *new* "
+                         "findings fail the gate "
+                         "(default: schemas/simlint_baseline.json when "
+                         "present)")
+    pl.add_argument("--no-baseline", action="store_true",
+                    help="ignore any baseline; every finding counts")
+    pl.add_argument("--write-baseline", metavar="FILE", default=None,
+                    help="write the current findings as the new baseline "
+                         "and exit 0")
+    pl.add_argument("--out", metavar="REPORT.json", default=None,
+                    help="also write the JSON report here (CI artifact)")
+
+    pr = sub.add_parser(
+        "racecheck",
+        help="dynamic buffer-ownership race detector over fault presets")
+    pr.add_argument("--preset", choices=("chaos", "failstop"),
+                    default="chaos",
+                    help="which fault campaign to monitor")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--plant", action="store_true",
+                    help="schedule a deliberate out-of-ownership-window "
+                         "access (positive control; expects 1 race)")
+    pr.add_argument("--smoke", action="store_true",
+                    help="CI gate: clean chaos+failstop presets must show "
+                         "zero races, a planted access must be caught, "
+                         "and monitoring must leave outputs bit-identical")
+    pr.add_argument("--out", metavar="REPORT.json", default=None,
+                    help="write the JSON report here (CI artifact)")
     return parser
 
 
@@ -137,6 +179,8 @@ EXPERIMENTS = {
     "perf": "DES kernel performance smoke check",
     "chaos": "fault-injection campaign with no-loss/no-dup safety audit",
     "telemetry": "traced gang-switch demo (Chrome trace + metrics snapshot)",
+    "lint": "simlint determinism & protocol-safety static analysis",
+    "racecheck": "dynamic buffer-ownership race detector (gang-switch protocol)",
 }
 
 
@@ -289,6 +333,82 @@ def main(argv=None) -> int:
                    if r.get("error") or not r["audit"]["ok"]]
             return 1 if bad else 0
         return 0
+
+    if args.command == "lint":
+        from pathlib import Path
+
+        import repro
+        from repro.analysis.simlint import (
+            all_rules, diff_against_baseline, lint_paths, load_baseline,
+            render_baseline, render_json, render_text)
+
+        package_dir = Path(repro.__file__).resolve().parent
+        repo_root = package_dir.parent.parent
+        paths = args.paths if args.paths else [package_dir]
+        result = lint_paths(paths, root=repo_root)
+
+        if args.write_baseline:
+            Path(args.write_baseline).write_text(render_baseline(result))
+            print(f"simlint baseline written to {args.write_baseline} "
+                  f"({len(result.findings)} findings)")
+            return 0
+
+        if args.format == "json":
+            print(render_json(result), end="")
+        else:
+            print(render_text(result))
+        if args.out:
+            Path(args.out).write_text(render_json(result))
+
+        baseline = {}
+        if not args.no_baseline:
+            baseline_path = (Path(args.baseline) if args.baseline
+                             else repo_root / "schemas" / "simlint_baseline.json")
+            baseline = load_baseline(baseline_path)
+        regressions = diff_against_baseline(result, baseline)
+
+        gate = ({"error"} if args.fail_on == "error"
+                else {"error", "warning"})
+        severity_of = {r.code: r.severity for r in all_rules()}
+        failing = [r for r in regressions
+                   if severity_of.get(r[0].rsplit("::", 1)[-1]) in gate]
+        for key, allowed, now in failing:
+            print(f"simlint: NEW finding {key}: {now} (baseline {allowed})",
+                  file=sys.stderr)
+        if result.parse_errors:
+            return 1
+        return 1 if failing else 0
+
+    if args.command == "racecheck":
+        import json
+
+        from repro.analysis.simlint.racecheck import (
+            run_racecheck, run_racecheck_smoke)
+
+        if args.smoke:
+            summary = run_racecheck_smoke(seed=args.seed)
+            if args.out:
+                with open(args.out, "w") as fh:
+                    json.dump(summary, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            for check in summary["checks"]:
+                verdict = "OK " if check["ok"] else "FAIL"
+                detail = {k: v for k, v in check.items()
+                          if k not in ("check", "ok")}
+                print(f"racecheck {verdict} {check['check']} {detail}")
+            print("racecheck smoke:", "PASS" if summary["ok"] else "FAIL")
+            return 0 if summary["ok"] else 1
+
+        result = run_racecheck(preset=args.preset, seed=args.seed,
+                               plant=args.plant)
+        doc = result.to_dict()
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(json.dumps(doc["monitor"], indent=2, sort_keys=True))
+        expected = 1 if args.plant else 0
+        return 0 if result.race_count == expected else 1
 
     if args.command == "nicmem":
         from repro.experiments.nic_memory import (

@@ -658,7 +658,7 @@ class Simulator:
         queue = self._queue
         budget = max_events if max_events is not None else float("inf")
         count = 0
-        t0 = perf_counter()
+        t0 = perf_counter()  # simlint: ignore[SIM001] -- profiler accounts host wall time; never feeds sim state
         try:
             while queue:
                 if until is not None and queue[0][0] > until:
@@ -671,7 +671,7 @@ class Simulator:
                 prof.observe(self._now, entry[0], entry[2])
                 self.step()
         finally:
-            prof.account_wall(perf_counter() - t0)
+            prof.account_wall(perf_counter() - t0)  # simlint: ignore[SIM001] -- profiler accounts host wall time; never feeds sim state
         if until is not None and until > self._now:
             self._now = until
 
@@ -683,7 +683,7 @@ class Simulator:
         watch = event
         queue = self._queue
         count = 0
-        t0 = perf_counter()
+        t0 = perf_counter()  # simlint: ignore[SIM001] -- profiler accounts host wall time; never feeds sim state
         try:
             while watch.callbacks is not None:
                 if not queue:
@@ -697,7 +697,7 @@ class Simulator:
                 prof.observe(self._now, entry[0], entry[2])
                 self.step()
         finally:
-            prof.account_wall(perf_counter() - t0)
+            prof.account_wall(perf_counter() - t0)  # simlint: ignore[SIM001] -- profiler accounts host wall time; never feeds sim state
         if watch._ok is False:
             raise watch._value
         return watch._value
