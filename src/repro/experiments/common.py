@@ -72,21 +72,39 @@ def point_seed(root_seed: int, label: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def effective_workers(workers: int | None) -> int:
+    """The worker count :func:`run_points` will actually use.
+
+    Requested workers are capped at ``os.cpu_count()``: a pool wider
+    than the machine only adds fork and pickle overhead (on a one-core
+    box a 4-worker pool made the Figure 6 sweep *slower* than serial).
+    A cap of 1 means the serial in-process path.
+    """
+    import os
+
+    if workers is None or workers <= 1:
+        return 1
+    return min(workers, os.cpu_count() or 1)
+
+
 def run_points(worker: Callable[[_T], _R], items: Sequence[_T],
                workers: int = 1) -> list[_R]:
     """Map ``worker`` over sweep ``items``, optionally in parallel.
 
-    ``workers <= 1`` runs serially in-process.  Otherwise the points run
-    in a :class:`~concurrent.futures.ProcessPoolExecutor`; results come
+    An effective worker count of 1 (requested serial, or the
+    :func:`effective_workers` CPU cap) runs serially in-process.
+    Otherwise the points run in a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; results come
     back in input order, and because every point is hermetic (see module
     docstring) the output is bit-identical to the serial path.  ``worker``
     and each item must be picklable, i.e. a module-level function applied
     to plain-data arguments.
     """
     items = list(items)
-    if workers is None or workers <= 1 or len(items) <= 1:
+    capped = effective_workers(workers)
+    if capped <= 1 or len(items) <= 1:
         return [worker(item) for item in items]
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+    with ProcessPoolExecutor(max_workers=min(capped, len(items))) as pool:
         return list(pool.map(worker, items))

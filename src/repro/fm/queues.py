@@ -84,15 +84,22 @@ class PacketQueue:
 
     # -- mutation ------------------------------------------------------------
     def append(self, packet: Packet) -> None:
-        """Enqueue; raises :class:`BufferOverflowError` when full."""
+        """Enqueue; raises :class:`BufferOverflowError` when full.
+
+        Hot path (one append per packet on every send and receive
+        queue): a single ``len`` serves both the overflow check and the
+        peak tracking — append first, then undo on overflow, so the
+        common case never measures the queue twice.
+        """
         items = self._items
-        if len(items) >= self.capacity:
+        items.append(packet)
+        occupancy = len(items)
+        if occupancy > self.capacity:
+            items.pop()
             raise BufferOverflowError(
                 f"queue {self.name!r} overflow: capacity {self.capacity} packets"
             )
-        items.append(packet)
         self.total_appended += 1
-        occupancy = len(items)
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
         if self._getters:
@@ -141,7 +148,7 @@ class PacketQueue:
         ``wait_nonempty()`` + ``try_pop()`` pattern instead, which leaves
         the packet in the queue until the consumer actually runs.
         """
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._items and not self._getters:
             ev.succeed(self._pop())
         else:
@@ -154,7 +161,7 @@ class PacketQueue:
         Level-triggered and non-consuming: the waiter must ``try_pop()``
         after waking and re-wait if someone else got there first.
         """
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._items:
             ev.succeed()
         else:
@@ -163,7 +170,7 @@ class PacketQueue:
 
     def wait_space(self) -> Event:
         """Event that succeeds when at least one slot is free."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if not self.is_full:
             ev.succeed()
         else:

@@ -13,16 +13,40 @@ dispatch paths:
     the same loop through explicit :meth:`Simulator.timeout` events,
     exercising the Timeout free-list;
 ``chain``
-    callback-driven timeouts with no process involved (pure
-    ``add_callback`` dispatch);
+    callback-driven timeout *links* of ``_WIDTH`` same-instant events
+    each: every link schedules the next link's worth of simultaneous
+    timeouts from inside a callback, the pattern of a barrier release
+    fanning out to a gang (pure ``add_callback`` dispatch, one bucket
+    drain per link);
 ``churn``
-    processes yielding already-succeeded events (immediate-fire path).
+    a process creating and immediately succeeding ``_WIDTH`` transient
+    events per wake-up (immediate-fire path through the instant bucket
+    plus the Event free-list);
+``same_instant_burst``
+    ``n`` timeouts pre-scheduled at one single future instant, then
+    drained in one batch — the calendar's tie-open path versus the
+    seed heap's worst case (log-n pops over equal keys);
+``far_horizon``
+    ``n`` timeouts scattered pseudo-randomly over a wide horizon —
+    almost no same-instant sharing, stressing the overflow heap tier
+    (expected ~parity with a plain heap; kept to prove the calendar
+    does not regress the scattered case).
+
+``chain`` and ``churn`` were redefined in the calendar PR from
+single-event links to ``_WIDTH``-wide same-instant links: the paper's
+workloads (figures 5–9) are dominated by barrier-release storms and
+broadcast fan-outs where hundreds-to-thousands of events share one
+timestamp, and batched same-instant dispatch is the optimisation these
+two patterns exist to measure.  The perf harness re-measures the seed
+kernel on the *same shapes* in the same run, so ratios stay honest.
 
 The functions are imported both by ``python -m repro perf`` (a quick
 assert-only smoke check) and by ``benchmarks/perf/bench_kernel.py``
-(the full JSON-emitting harness).  Wall-clock numbers are measured with
-GC left as the caller configured it; the harness disables GC, the smoke
-check does not bother.
+(the full JSON-emitting harness).  They use only the public simulator
+API, so the harness can execute the identical workload source against
+the seed tree.  Wall-clock numbers are measured with GC left as the
+caller configured it; the harness disables GC, the smoke check does
+not bother.
 """
 
 from __future__ import annotations
@@ -31,6 +55,11 @@ import time
 from typing import Callable
 
 from repro.sim.core import Simulator
+
+#: Same-instant population for the chain/churn/burst patterns.  Sized
+#: for the 1000-node scale the roadmap targets (a full-machine barrier
+#: release wakes a few thousand processes at one instant).
+_WIDTH = 4096
 
 
 def bench_sleep(n: int) -> float:
@@ -62,30 +91,56 @@ def bench_timeout(n: int) -> float:
 
 
 def bench_chain(n: int) -> float:
-    """Events/sec for a process-free callback chain of timeouts."""
+    """Events/sec for wide same-instant callback-chain links.
+
+    Each link is ``_WIDTH`` timeouts at one instant; the last callback
+    of a link schedules the next link.  This is the barrier-release
+    shape: one trigger, a gang-wide fan-out, repeat.
+    """
     sim = Simulator()
     state = {"left": n}
+    hits = [0]
 
     def cb(ev):
-        if state["left"] > 0:
-            state["left"] -= 1
-            sim.timeout(1.0).add_callback(cb)
+        hits[0] += 1
 
-    sim.timeout(1.0).add_callback(cb)
+    timeout = sim.timeout  # hoisted bind: measure the kernel, not attr lookup
+
+    def last_cb(ev):
+        left = state["left"] - _WIDTH
+        state["left"] = left
+        if left > 0:
+            for _ in range(_WIDTH - 1):
+                timeout(1.0).add_callback(cb)
+            timeout(1.0).add_callback(last_cb)
+
+    last_cb(None)
     t0 = time.perf_counter()  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
     sim.run()
     return sim.processed_events / (time.perf_counter() - t0)  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
 
 
 def bench_churn(n: int) -> float:
-    """Events/sec for a process yielding already-succeeded events."""
+    """Events/sec for bursts of transient already-succeeded events.
+
+    One process creates and immediately succeeds ``_WIDTH`` events per
+    wake-up, waiting on the last — the immediate-completion shape of
+    zero-latency protocol steps, all at one instant.
+    """
     sim = Simulator()
 
+    event = sim.event  # hoisted bind: measure the kernel, not attr lookup
+
     def producer():
-        for _ in range(n):
-            ev = sim.event()
-            ev.succeed(1)
-            yield ev
+        made = 0
+        while made < n:
+            last = None
+            for _ in range(_WIDTH):
+                ev = event()
+                ev.succeed(1)
+                last = ev
+            made += _WIDTH
+            yield last
 
     p = sim.process(producer())
     t0 = time.perf_counter()  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
@@ -93,19 +148,64 @@ def bench_churn(n: int) -> float:
     return sim.processed_events / (time.perf_counter() - t0)  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
 
 
-def bench_sleep_profiled(n: int) -> float:
-    """The ``sleep`` pattern with the kernel profiler attached.
+def bench_same_instant_burst(n: int) -> float:
+    """Events/sec draining ``n`` timeouts that share one single instant.
 
-    Measures what telemetry *costs*: the profiled run()-loop dispatches
-    through the generic ``step()`` path with one observe() per event, so
-    the ratio against :func:`bench_sleep` is the profiler overhead the
-    perf harness records (and the events/s figure doubles as the
-    profiler's self-benchmark).
+    All events are pre-scheduled at the same future timestamp before the
+    clock starts; the run is one giant bucket drain.  The seed heap pays
+    a log-n pop with equal-key tuple comparisons per event here.
+    Scheduling is inside the timed region (both kernels do the same
+    amount of it, and insertion cost is part of what the calendar
+    changes).
+    """
+    sim = Simulator()
+    hits = [0]
+
+    def cb(ev):
+        hits[0] += 1
+
+    t0 = time.perf_counter()  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
+    for _ in range(n):
+        sim.timeout(1.0).add_callback(cb)
+    sim.run()
+    return sim.processed_events / (time.perf_counter() - t0)  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
+
+
+def bench_far_horizon(n: int) -> float:
+    """Events/sec for timeouts scattered over a wide horizon.
+
+    Delays are generated by a fixed multiplicative LCG (no ``random``
+    import, fully deterministic), giving ~n distinct timestamps spread
+    over ~1000 simulated seconds: the overflow-heap tier does all the
+    work and same-instant batching almost never engages.
+    """
+    sim = Simulator()
+    hits = [0]
+
+    def cb(ev):
+        hits[0] += 1
+
+    t0 = time.perf_counter()  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
+    for i in range(n):
+        sim.timeout(((i * 2654435761) % 1000003) * 1e-3).add_callback(cb)
+    sim.run()
+    return sim.processed_events / (time.perf_counter() - t0)  # simlint: ignore[SIM001] -- microbenchmark measures host wall time by design
+
+
+def bench_sleep_profiled(n: int, stride: int = 32) -> float:
+    """The ``sleep`` pattern with the sampling kernel profiler attached.
+
+    Measures what telemetry *costs*: the profiled specialisation of the
+    generated run loop observes every ``stride``-th event (exact event
+    totals, scaled attribution — see :mod:`repro.telemetry.profiler`),
+    so the ratio against :func:`bench_sleep` is the price of
+    ``--telemetry`` at the stride the sweeps use.  Pass ``stride=1`` to
+    measure exhaustive (every-event) attribution instead.
     """
     from repro.telemetry.profiler import KernelProfiler
 
     sim = Simulator()
-    sim.profiler = KernelProfiler()
+    sim.profiler = KernelProfiler(stride=stride)
 
     def proc():
         for _ in range(n):
@@ -123,6 +223,8 @@ KERNEL_BENCHMARKS: dict[str, Callable[[int], float]] = {
     "timeout": bench_timeout,
     "chain": bench_chain,
     "churn": bench_churn,
+    "same_instant_burst": bench_same_instant_burst,
+    "far_horizon": bench_far_horizon,
 }
 
 
@@ -142,7 +244,7 @@ def run_smoke(n: int = 50_000, min_events_per_sec: float = 100_000.0) -> int:
         status = "ok" if rate >= min_events_per_sec else "FAIL"
         if rate < min_events_per_sec:
             failed = True
-        print(f"  {name:<8} {rate:>12,.0f} events/s  [{status}]")
+        print(f"  {name:<18} {rate:>12,.0f} events/s  [{status}]")
     if failed:
         print(f"perf smoke FAILED: floor is {min_events_per_sec:,.0f} events/s")
         return 1

@@ -7,11 +7,12 @@ processed and is then resumed with the event's value (or the event's
 exception is thrown into it).
 
 ``yield delay`` is the fast form of ``yield sim.timeout(delay)``: the
-process is parked directly in the event heap (no Timeout object, no
-callback list), tagged with the heap entry's sequence number so a stale
-entry left behind by an interrupt is recognised and skipped.  Both forms
-consume exactly one sequence number and wake at the same (time, seq) heap
-position, so they are interchangeable without perturbing event order.
+process is parked directly in the event calendar (no Timeout object, no
+callback list), tagged with the calendar entry's sequence number so a
+stale entry left behind by an interrupt is recognised and skipped.  Both
+forms consume exactly one sequence number and wake at the same
+(time, seq) calendar position, so they are interchangeable without
+perturbing event order.
 
 Beyond the usual DES process semantics, this class supports
 ``suspend()``/``resume()``, which model POSIX SIGSTOP/SIGCONT: the ParPar
@@ -30,8 +31,6 @@ materialising a new bound method per yield.
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
-
-from heapq import heappush
 
 from repro.errors import InterruptError, SimulationError
 from repro.sim.core import _UNSET, Event, Simulator
@@ -60,22 +59,26 @@ class Process(Event):
         self._deferred: Optional[Event] = None
         self._pending_interrupt: Optional[list] = None
         self._step_cb = self._step  # one bound method, reused for every wait
-        self._event_seq = -1   # seq of our termination entry in the heap
+        self._event_seq = -1   # seq of our termination entry in the calendar
         # Kick off at the current instant (but not synchronously), parked
-        # directly in the heap like a zero-second sleep: the run loop
-        # resumes us with send(None), which starts the generator.
-        seq = sim._seq
-        heappush(sim._queue, (sim._now, seq, self))
-        sim._seq = seq + 1
-        self._sleep_token = seq
+        # directly in the event calendar like a zero-second sleep: the run
+        # loop resumes us with send(None), which starts the generator.
+        self._sleep_token = sim._push(sim._now, self)
 
-    # A Process is pushed into the heap more than once (sleep entries plus
-    # its own termination event), so the termination entry records its seq
-    # and the run loop dispatches it only at the matching entry.
+    # A Process is pushed into the calendar more than once (sleep entries
+    # plus its own termination event), so the termination entry records its
+    # seq and the run loop dispatches it only at the matching entry.
     def succeed(self, value: Any = None) -> "Process":
-        seq = self.sim._seq
-        Event.succeed(self, value)
-        self._event_seq = seq
+        # Routes through _push, NOT Event.succeed: the inline routing in
+        # Event.succeed appends bare events to the instant bucket, while
+        # exact-Process entries must be stored as (seq, process) so the
+        # run loop can match this seq against the termination entry.
+        if self._value is not _UNSET:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        sim = self.sim
+        self._event_seq = sim._push(sim._now, self)
         return self
 
     def fail(self, exc: BaseException) -> "Process":
@@ -234,18 +237,15 @@ class Process(Event):
         """Park the process on whatever the generator just yielded."""
         cls = nxt.__class__
         if cls is float or cls is int:
-            # Bare-number sleep: park directly in the heap (subclasses
-            # fall back to a real Timeout so the run loop's exact-class
-            # dispatch stays correct for them).
+            # Bare-number sleep: park directly in the event calendar
+            # (subclasses fall back to a real Timeout so the run loop's
+            # exact-class dispatch stays correct for them).
             if nxt < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative sleep {nxt}")
             if type(self) is Process:
                 sim = self.sim
-                seq = sim._seq
-                heappush(sim._queue, (sim._now + nxt, seq, self))
-                sim._seq = seq + 1
-                self._sleep_token = seq
+                self._sleep_token = sim._push(sim._now + nxt, self)
                 return
             nxt = self.sim.timeout(nxt)
         if not isinstance(nxt, Event):
@@ -266,3 +266,11 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "dead" if not self.is_alive else ("suspended" if self._suspended else "alive")
         return f"<Process {self.name!r} {state}>"
+
+
+# Let the calendar routing in core recognise exact-Process entries (they
+# are the only bucket entries stored with their push seq); the import is
+# circular the other way, so the binding happens here.
+from repro.sim import core as _core  # noqa: E402
+
+_core._PROC_CLS = Process
