@@ -55,7 +55,7 @@ def model_vs_simulation():
     print(f"{'contexts':>8} {'C0':>4} {'model MB/s':>11} {'sim MB/s':>9}")
     for contexts in (1, 2, 3, 4, 5, 8):
         config = FMConfig(max_contexts=contexts, num_processors=16)
-        policy = StaticPartition()
+        policy = StaticPartition(on_zero_credit="report")
         geo = policy.geometry(config)
         predicted = predict_p2p_bandwidth(config, geo, 16384).mbps
 

@@ -53,6 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p6)
     _add_telemetry(p6)
 
+    pp = sub.add_parser("figure_policies",
+                        help="buffer policy comparison: bandwidth vs jobs")
+    pp.add_argument("--policies", nargs="+", default=None,
+                    help="policy arms to sweep (default: all five)")
+    pp.add_argument("--jobs", type=int, nargs="+", default=None,
+                    help="competing job counts (default: 1 2 4 8)")
+    pp.add_argument("--sizes", type=int, nargs="+", default=None,
+                    help="message sizes in bytes (default: 1536)")
+    pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("--out", metavar="BENCH.json", default=None,
+                    help="write the benchmark JSON document here")
+    pp.add_argument("--smoke", action="store_true",
+                    help="CI preset: small sweep, then re-run on a "
+                         "2-worker pool and require byte-identical "
+                         "results; exit non-zero otherwise")
+    _add_common(pp)
+    _add_telemetry(pp)
+
     for name, help_text in (("figure7", "switch stages, full copy"),
                             ("figure9", "switch stages, valid-only copy")):
         p = sub.add_parser(name, help=help_text)
@@ -171,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
 EXPERIMENTS = {
     "figure5": "Fig. 5  bandwidth vs size x contexts, static FM division",
     "figure6": "Fig. 6  total bandwidth vs size x jobs, buffer switching",
+    "figure_policies": "buffer policy comparison: bandwidth vs competing jobs",
     "figure7": "Fig. 7  switch stage cycles vs nodes, full copy",
     "figure8": "Fig. 8  valid packets in buffers at switch time",
     "figure9": "Fig. 9  switch stage cycles vs nodes, valid-only copy",
@@ -240,6 +259,60 @@ def main(argv=None) -> int:
                              workers=args.workers,
                              telemetry=args.telemetry is not None, **kwargs)
         print(render_figure6(points))
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
+        return 0
+
+    if args.command == "figure_policies":
+        import json
+
+        from repro.experiments.figure_policies import (DEFAULT_JOBS,
+                                                       DEFAULT_MESSAGE_BYTES,
+                                                       POLICY_ARMS,
+                                                       points_payload,
+                                                       run_figure_policies)
+        from repro.experiments.report import render_policies
+
+        policies = tuple(args.policies) if args.policies else POLICY_ARMS
+        jobs = tuple(args.jobs) if args.jobs else DEFAULT_JOBS
+        sizes = tuple(args.sizes) if args.sizes else DEFAULT_MESSAGE_BYTES
+        kwargs = {}
+        if args.quantum:
+            kwargs["quantum"] = args.quantum
+        if args.smoke:
+            # Small but exercises every arm, a gang-switching point, and
+            # the zero-credit static cell — then proves the process-pool
+            # fan-out is bit-identical to the serial path.
+            jobs = tuple(args.jobs) if args.jobs else (1, 2)
+            sizes = tuple(args.sizes) if args.sizes else (1536,)
+            kwargs.setdefault("quanta_per_job", 1.5)
+        points = run_figure_policies(policies=policies, jobs=jobs,
+                                     message_sizes=sizes,
+                                     root_seed=args.seed,
+                                     workers=args.workers,
+                                     telemetry=args.telemetry is not None,
+                                     **kwargs)
+        print(render_policies(points))
+        payload = json.dumps(points_payload(points), indent=2, sort_keys=True)
+        if args.smoke:
+            parallel = run_figure_policies(policies=policies, jobs=jobs,
+                                           message_sizes=sizes,
+                                           root_seed=args.seed, workers=2,
+                                           telemetry=args.telemetry is not None,
+                                           **kwargs)
+            parallel_payload = json.dumps(points_payload(parallel),
+                                          indent=2, sort_keys=True)
+            if parallel_payload != payload:
+                print("FAIL: -j2 sweep diverged from the serial run")
+                return 1
+            print("smoke: serial and -j2 sweeps bit-identical "
+                  f"({len(points)} points)")
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+            print(f"benchmark JSON written to {args.out}")
         if args.telemetry:
             _write_merged_telemetry(args.telemetry,
                                     (p.telemetry for p in points))

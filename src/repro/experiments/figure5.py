@@ -41,7 +41,9 @@ def _measure_point(contexts: int, message_bytes: int, messages: int,
                    telemetry: bool = False) -> Figure5Point:
     sim = Simulator()
     config = FMConfig(max_contexts=contexts, num_processors=num_processors)
-    policy = StaticPartition()
+    # "report" keeps the legacy zero-credit geometry: measuring the
+    # collapse (0 MB/s at n >= 7) is this figure's entire point.
+    policy = StaticPartition(on_zero_credit="report")
     c0 = policy.geometry(config).initial_credits
     telem = None
     if telemetry:

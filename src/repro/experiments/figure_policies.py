@@ -1,0 +1,180 @@
+"""Buffer-policy comparison: total bandwidth vs number of competing jobs.
+
+Extends the paper's Figure 5/6 storyline past its two endpoints.  The
+original FM divides the NIC SRAM statically (bandwidth collapses as
+C0 = Br / (n^2 p)); the paper's gang-scheduled full-buffer scheme gives
+every job the whole buffer during its quantum (C0 = Br / p, flat in n).
+Between them sit the *dynamic* sharing policies from the buffer-sharing
+literature — threshold sharing, preemptive reclamation, delay-driven
+weighting — which this sweep runs on the same benchmark so all five
+strategies land on one axis: aggregate bandwidth vs competing jobs.
+
+Arms:
+
+- ``static-partition`` runs resident (no buffer switching), in
+  ``on_zero_credit="report"`` mode so the n >= 7 collapse measures as
+  0 MB/s exactly as Figure 5 does.  Zero-credit cells short-circuit —
+  the simulation could never deliver a message, so running it would
+  just hang the sweep at the paper's "no communication" point.
+- every other arm gang-schedules with buffer switching; the dynamic
+  arms additionally run the :class:`~repro.fm.policies.engine.
+  PolicyEngine`, which retargets queue allocations and credit windows
+  at each gang switch.
+
+Each point is a hermetic simulation seeded by :func:`point_seed`, so a
+``-jN`` process-pool sweep is bit-identical to the serial path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.fm.config import FMConfig
+from repro.fm.policies import StaticPartition, make_policy
+from repro.metrics.bandwidth import BandwidthSample, aggregate_bandwidth
+from repro.parpar.cluster import ClusterConfig, ParParCluster
+from repro.parpar.job import JobSpec
+from repro.experiments.common import point_seed, run_points
+from repro.experiments.figure6 import _messages_for_quanta
+from repro.workloads.bandwidth import bandwidth_benchmark
+
+#: Sweep arms, in presentation order (also the order points are emitted).
+POLICY_ARMS = ("static-partition", "full-buffer", "dynamic-threshold",
+               "occamy", "bshare")
+
+#: Default competing-job axis; 8 jobs is the paper's collapse point.
+DEFAULT_JOBS = (1, 2, 4, 8)
+
+#: Default message size: mid-range, the knee of the Figure 5/6 curves.
+DEFAULT_MESSAGE_BYTES = (1536,)
+
+
+@dataclass(frozen=True)
+class PolicyPoint:
+    """One cell: a policy arm at one (jobs, message size) coordinate."""
+
+    policy: str
+    jobs: int
+    message_bytes: int
+    per_job_mbps: tuple[float, ...]
+    aggregate_mbps: float      # mean per-job x number of jobs (paper stat)
+    switches: int              # completed gang switches (0 for resident arm)
+    reallocations: int         # PolicyEngine context reallocations applied
+    min_window: int            # smallest credit window the engine published
+    max_window: int            # largest credit window the engine published
+    messages_per_job: int
+    #: unified telemetry snapshot (None unless the sweep asked for one)
+    telemetry: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        """JSON-stable record (telemetry snapshots stay out of benchmarks)."""
+        return {
+            "policy": self.policy,
+            "jobs": self.jobs,
+            "message_bytes": self.message_bytes,
+            "per_job_mbps": [round(v, 6) for v in self.per_job_mbps],
+            "aggregate_mbps": round(self.aggregate_mbps, 6),
+            "switches": self.switches,
+            "reallocations": self.reallocations,
+            "min_window": self.min_window,
+            "max_window": self.max_window,
+            "messages_per_job": self.messages_per_job,
+        }
+
+
+def _arm_policy(name: str):
+    """Policy instance + buffer_switching flag for one sweep arm."""
+    if name == "static-partition":
+        # Resident contexts, legacy zero-credit geometry: this arm *is*
+        # the Figure 5 baseline, collapse included.
+        return StaticPartition(on_zero_credit="report"), False
+    return make_policy(name), True
+
+
+def _measure_point(policy_name: str, jobs: int, message_bytes: int,
+                   messages: int, quantum: float, num_processors: int,
+                   seed: int = 0, telemetry: bool = False) -> PolicyPoint:
+    if jobs < 1:
+        raise ConfigError(f"need at least one job, got {jobs}")
+    policy, switching = _arm_policy(policy_name)
+    fm = FMConfig(max_contexts=jobs, num_processors=num_processors)
+    if policy.geometry(fm).initial_credits == 0:
+        # The paper's "no communication is even possible" cell: the run
+        # would stall forever, so report the exact outcome directly.
+        return PolicyPoint(
+            policy=policy_name, jobs=jobs, message_bytes=message_bytes,
+            per_job_mbps=(0.0,) * jobs, aggregate_mbps=0.0, switches=0,
+            reallocations=0, min_window=0, max_window=0,
+            messages_per_job=messages, telemetry=None)
+    cluster = ParParCluster(ClusterConfig(
+        num_nodes=2, time_slots=jobs, quantum=quantum,
+        buffer_switching=switching, policy=policy, fm=fm,
+        seed=seed, telemetry=telemetry,
+    ))
+    workload = bandwidth_benchmark(messages, message_bytes)
+    submitted = [cluster.submit(JobSpec(f"bw{i}", 2, workload))
+                 for i in range(jobs)]
+    cluster.run_until_finished(submitted, max_events=500_000_000)
+
+    samples = []
+    for job in submitted:
+        result = job.result_of(0)
+        samples.append(BandwidthSample(
+            job_id=job.job_id, payload_bytes=result.payload_bytes,
+            started_at=result.started_at, finished_at=result.finished_at,
+        ))
+    engine = cluster.policy_engine
+    counters = engine.counters() if engine is not None else {}
+    return PolicyPoint(
+        policy=policy_name, jobs=jobs, message_bytes=message_bytes,
+        per_job_mbps=tuple(s.mbps for s in samples),
+        aggregate_mbps=aggregate_bandwidth(samples),
+        switches=cluster.masterd.switches_completed,
+        reallocations=counters.get("reallocations", 0),
+        min_window=counters.get("min_window", 0),
+        max_window=counters.get("max_window", 0),
+        messages_per_job=messages,
+        telemetry=cluster.telemetry_snapshot() if telemetry else None,
+    )
+
+
+def _point_worker(args: tuple) -> PolicyPoint:
+    """Picklable run_points worker: one (policy, jobs, size) cell."""
+    return _measure_point(*args)
+
+
+def run_figure_policies(policies: Sequence[str] = POLICY_ARMS,
+                        jobs: Sequence[int] = DEFAULT_JOBS,
+                        message_sizes: Sequence[int] = DEFAULT_MESSAGE_BYTES,
+                        quanta_per_job: float = 4.5,
+                        quantum: float = 0.020,
+                        num_processors: int = 16,
+                        root_seed: int = 0,
+                        workers: int = 1,
+                        telemetry: bool = False) -> list[PolicyPoint]:
+    """The full sweep: one point per (policy, number of jobs, size)."""
+    for name in policies:
+        _arm_policy(name)  # fail fast on unknown names
+    items = []
+    for name in policies:
+        for njobs in jobs:
+            fm = FMConfig(max_contexts=njobs, num_processors=num_processors)
+            for size in message_sizes:
+                messages = _messages_for_quanta(fm, size, quantum,
+                                                quanta_per_job)
+                seed = point_seed(
+                    root_seed,
+                    f"figure_policies:{name}:jobs={njobs}:size={size}")
+                items.append((name, njobs, size, messages, quantum,
+                              num_processors, seed, telemetry))
+    return run_points(_point_worker, items, workers=workers)
+
+
+def points_payload(points: Sequence[PolicyPoint]) -> dict:
+    """The JSON benchmark document (``BENCH_policies.json`` / CI artifact)."""
+    return {
+        "schema": "repro-bench-policies/1",
+        "points": [p.to_dict() for p in points],
+    }

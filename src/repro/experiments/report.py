@@ -10,6 +10,7 @@ from typing import Iterable, Sequence
 
 from repro.experiments.figure5 import Figure5Point
 from repro.experiments.figure6 import Figure6Point
+from repro.experiments.figure_policies import PolicyPoint
 from repro.experiments.figure7 import SwitchOverheadPoint
 from repro.experiments.figure8 import OccupancyPoint
 from repro.experiments.table_overhead import OverheadSummary
@@ -61,6 +62,41 @@ def render_figure6(points: Sequence[Figure6Point]) -> str:
                  row_name="jobs", col_name="msgB")
     return ("Figure 6 - total bandwidth [MB/s], buffer switching scheme "
             "(C0 = Br/p)\n" + body)
+
+
+def render_policies(points: Sequence[PolicyPoint]) -> str:
+    """Aggregate bandwidth [MB/s] grid per policy, plus engine activity."""
+    sizes = sorted({p.message_bytes for p in points})
+    arms = []
+    for p in points:  # preserve sweep arm order
+        if p.policy not in arms:
+            arms.append(p.policy)
+    blocks = []
+    for size in sizes:
+        cell = [p for p in points if p.message_bytes == size]
+        jobs = sorted({p.jobs for p in cell})
+        lookup = {(p.policy, p.jobs): p for p in cell}
+        headers = ["policy"] + [f"{n} jobs" for n in jobs] + ["realloc", "window"]
+        rows = []
+        for arm in arms:
+            row = [arm]
+            realloc = 0
+            lo = hi = 0
+            for n in jobs:
+                p = lookup.get((arm, n))
+                row.append("-" if p is None else f"{p.aggregate_mbps:.1f}")
+                if p is not None:
+                    realloc += p.reallocations
+                    if p.max_window:
+                        lo = min(lo or p.min_window, p.min_window)
+                        hi = max(hi, p.max_window)
+            row.append(str(realloc))
+            row.append(f"{lo}-{hi}" if hi else "-")
+            rows.append(row)
+        blocks.append(f"message size {size} B, aggregate bandwidth [MB/s]\n"
+                      + format_table(headers, rows))
+    return ("Buffer policies - total bandwidth vs competing jobs\n"
+            + "\n\n".join(blocks))
 
 
 def render_switch_overheads(points: Sequence[SwitchOverheadPoint], figure: str) -> str:

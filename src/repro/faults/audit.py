@@ -118,7 +118,12 @@ def credit_leaks(contexts: Mapping[int, FMContext]) -> dict:
                 continue
             src_node = src_ctx.node_id
             dst_node = dst_ctx.node_id
-            c0 = src_ctx.geometry.initial_credits
+            # The live window, not the creation-time geometry: dynamic
+            # buffer policies retarget C0 at gang switches, and the
+            # conservation identity holds against whatever the window is
+            # *now* (set_window moves C0 and the available term in
+            # lockstep).  For static policies the two are identical.
+            c0 = src_ctx.credits.c0
             available = src_ctx.credits.available(dst_node)
             committed, _ = _credits_in_queue(src_ctx.send_queue, dst_node)
             in_recv = sum(1 for p in dst_ctx.recv_queue.snapshot()

@@ -11,9 +11,10 @@ Mirrors the structure of Illinois FM 2.0 as the paper describes it
 - credit-based flow control with low-water-mark refills and piggybacking
   (:mod:`~repro.fm.credits`);
 - per-process communication contexts whose queue sizes are set by a
-  buffer-partitioning policy (:mod:`~repro.fm.buffers`): the original
-  static division, or the paper's full-buffer scheme enabled by gang
-  scheduling;
+  buffer-sharing policy (:mod:`~repro.fm.policies`): the original static
+  division, the paper's full-buffer scheme enabled by gang scheduling,
+  or one of the dynamic sharing policies driven at runtime by the
+  :class:`~repro.fm.policies.engine.PolicyEngine`;
 - the original FM management daemons, GRM and CM (:mod:`~repro.fm.grm`,
   :mod:`~repro.fm.cm`), kept as the baseline that ParPar integration
   replaces.
@@ -24,18 +25,28 @@ from repro.fm.config import FMConfig
 from repro.fm.context import ContextState, FMContext
 from repro.fm.credits import CreditState
 from repro.fm.packet import Packet, PacketType
+from repro.fm.policies import (POLICIES, BShareDelay, DynamicThreshold,
+                               OccamyPreemptive, PolicyEngine, make_policy,
+                               policy_names)
 from repro.fm.queues import ReceiveQueue, SendQueue
 
 __all__ = [
+    "BShareDelay",
     "BufferPolicy",
     "ContextState",
     "CreditState",
+    "DynamicThreshold",
     "FMConfig",
     "FMContext",
     "FullBuffer",
+    "OccamyPreemptive",
+    "POLICIES",
     "Packet",
     "PacketType",
+    "PolicyEngine",
     "ReceiveQueue",
     "SendQueue",
     "StaticPartition",
+    "make_policy",
+    "policy_names",
 ]

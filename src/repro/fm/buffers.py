@@ -1,88 +1,15 @@
-"""Buffer partitioning policies — the axis the paper's contribution sits on.
+"""Buffer partitioning policies — compatibility re-exports.
 
-*Original FM* (:class:`StaticPartition`): the card's send buffer and the
-pinned receive buffer are divided **equally among the maximum number of
-contexts**, whether or not they are active (Section 2.2, Figure 1).  The
-worst case "everyone sends to one node" sizing then gives each pair
+The policy interface and catalogue grew into the
+:mod:`repro.fm.policies` package (runtime engine, dynamic policies,
+registry); this module keeps the original import surface stable:
 
-    C0 = (Br / n) / (n * p)  =  Br / (n^2 * p)
-
-credits — the inverse-square collapse that produces Figure 5.
-
-*The paper's scheme* (:class:`FullBuffer`): gang scheduling guarantees
-only one job communicates per node at a time, so the running process gets
-the whole buffer and only its own job's p processes can send to it:
-
-    C0 = Br / p
-
-independent of the number of time-sliced jobs (Section 3.3).
+    from repro.fm.buffers import BufferPolicy, StaticPartition, FullBuffer
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
+from repro.fm.policies.base import BufferPolicy, ContextGeometry
+from repro.fm.policies.static import FullBuffer, StaticPartition
 
-from repro.errors import ConfigError
-from repro.fm.config import FMConfig
-
-
-@dataclass(frozen=True)
-class ContextGeometry:
-    """Queue sizes and the credit window one context receives."""
-
-    recv_packets: int
-    send_packets: int
-    initial_credits: int
-
-    def __post_init__(self):
-        if self.recv_packets < 0 or self.send_packets < 0 or self.initial_credits < 0:
-            raise ConfigError("context geometry values must be >= 0")
-
-
-class BufferPolicy(abc.ABC):
-    """Maps the global buffer configuration to per-context geometry."""
-
-    name: str = "abstract"
-
-    @abc.abstractmethod
-    def geometry(self, config: FMConfig) -> ContextGeometry:
-        """Queue sizes / credits for one context under this policy."""
-
-    def describe(self, config: FMConfig) -> str:
-        g = self.geometry(config)
-        return (
-            f"{self.name}: recvQ={g.recv_packets}pkt sendQ={g.send_packets}pkt "
-            f"C0={g.initial_credits} (n={config.max_contexts}, p={config.num_processors})"
-        )
-
-
-class StaticPartition(BufferPolicy):
-    """Original FM: divide by the fixed maximum number of contexts."""
-
-    name = "static-partition"
-
-    def geometry(self, config: FMConfig) -> ContextGeometry:
-        n, p = config.max_contexts, config.num_processors
-        recv = config.recv_queue_packets // n
-        send = config.send_queue_packets // n
-        credits = recv // (n * p)
-        return ContextGeometry(recv_packets=recv, send_packets=send,
-                               initial_credits=credits)
-
-
-class FullBuffer(BufferPolicy):
-    """The paper's scheme: the running process owns the entire buffers.
-
-    Safe only under gang scheduling with buffer switching; at most p
-    senders (the job's own processes) target any receive queue.
-    """
-
-    name = "full-buffer"
-
-    def geometry(self, config: FMConfig) -> ContextGeometry:
-        recv = config.recv_queue_packets
-        send = config.send_queue_packets
-        credits = recv // config.num_processors
-        return ContextGeometry(recv_packets=recv, send_packets=send,
-                               initial_credits=credits)
+__all__ = ["BufferPolicy", "ContextGeometry", "StaticPartition", "FullBuffer"]

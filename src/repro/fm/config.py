@@ -47,7 +47,14 @@ class FMConfig:
     credit_turnaround: float = 150 * US  # end-to-end refill latency (calibrated)
     refill_send_overhead: float = 2.0 * US  # host cost to emit an explicit refill
 
+    # -- buffer sharing ------------------------------------------------------
+    #: registered policy name (see ``repro.fm.policies.POLICIES``); empty
+    #: string keeps the caller-supplied / mode-derived default
+    buffer_policy: str = ""
+
     def __post_init__(self):
+        if not isinstance(self.buffer_policy, str):
+            raise ConfigError("buffer_policy must be a policy name string")
         if self.packet_bytes <= self.header_bytes:
             raise ConfigError("packet_bytes must exceed header_bytes")
         if self.header_bytes < 0:

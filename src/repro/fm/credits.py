@@ -34,6 +34,7 @@ class CreditState:
             raise CreditError(f"low_water_fraction {low_water_fraction} out of range")
         self.sim = sim
         self.c0 = c0
+        self._low_water_fraction = low_water_fraction
         self.low_water = int(c0 * low_water_fraction)
         #: consume this many from one peer before telling it (>=1)
         self.refill_threshold = max(1, c0 - self.low_water)
@@ -87,6 +88,52 @@ class CreditState:
         (without taking it); pair with ``try_acquire_send`` in a loop."""
         self._require_window()
         return self._peer_sem(peer).wait_value(1)
+
+    def set_window(self, new_c0: int) -> int:
+        """Retarget the per-peer credit window (dynamic buffer policies).
+
+        Growing mints ``new_c0 - c0`` fresh credits toward every peer
+        immediately.  Shrinking can only *reclaim* credits that are
+        currently available here: credits committed to queued packets,
+        sitting in the peer's receive queue, or returning in refills are
+        someone else's to spend and stay counted until they come home.
+        The reclaim is uniform across peers (C0 is a scalar), limited by
+        the *minimum* availability, so the achieved window is
+        ``c0 - min(requested shrink, min over peers of available)``.
+
+        Returns the achieved window and recomputes the low-water mark /
+        refill threshold from it.  Conservation survives in both
+        directions: each peer-pair identity ``C0 = available + committed
+        + in_recv + unreported + returning`` changes its C0 and its
+        ``available`` term by the same delta, so the strict overflow
+        check in :meth:`on_refill` (against the *new* C0) can still never
+        trip on a legitimate refill.
+        """
+        if new_c0 < 0:
+            raise CreditError(f"negative credit window {new_c0}")
+        if new_c0 > self.c0:
+            delta = new_c0 - self.c0
+            for peer in self.peers:
+                self._send_credits[peer].release(delta)
+            achieved = new_c0
+        elif new_c0 < self.c0:
+            want = self.c0 - new_c0
+            if self._send_credits:
+                reclaimable = min(sem.value
+                                  for sem in self._send_credits.values())
+            else:
+                reclaimable = want
+            take = min(want, reclaimable)
+            if take:
+                for peer in self.peers:
+                    self._send_credits[peer].reclaim(take)
+            achieved = self.c0 - take
+        else:
+            return self.c0
+        self.c0 = achieved
+        self.low_water = int(achieved * self._low_water_fraction)
+        self.refill_threshold = max(1, achieved - self.low_water)
+        return achieved
 
     def _require_window(self) -> None:
         if self.c0 == 0:

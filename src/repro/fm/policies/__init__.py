@@ -1,0 +1,54 @@
+"""Buffer-sharing policy package: interface, catalogue, and engine.
+
+``POLICIES`` is the runtime registry behind ``FMConfig.buffer_policy``
+and the ``figure_policies`` sweep; :func:`make_policy` builds a fresh
+instance by name (policies carry mutable statistics, so instances are
+never shared between simulations).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.fm.policies.base import (BufferPolicy, ContextGeometry, JobView,
+                                    SwitchView)
+from repro.fm.policies.dynamic import (BShareDelay, DynamicThreshold,
+                                       OccamyPreemptive)
+from repro.fm.policies.engine import PolicyEngine, QueueWaitObserver
+from repro.fm.policies.static import StaticPartition, FullBuffer
+
+#: name -> class; every entry constructs with no arguments
+POLICIES: dict[str, type] = {
+    StaticPartition.name: StaticPartition,
+    FullBuffer.name: FullBuffer,
+    DynamicThreshold.name: DynamicThreshold,
+    OccamyPreemptive.name: OccamyPreemptive,
+    BShareDelay.name: BShareDelay,
+}
+
+
+def policy_names() -> list[str]:
+    return sorted(POLICIES)
+
+
+def make_policy(name: str, **kwargs) -> BufferPolicy:
+    """Construct a registered policy by name.
+
+    Keyword arguments pass through to the policy constructor (e.g.
+    ``make_policy("static-partition", on_zero_credit="report")``).
+    """
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown buffer policy {name!r}; available: "
+            f"{', '.join(policy_names())}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "BufferPolicy", "ContextGeometry", "JobView", "SwitchView",
+    "StaticPartition", "FullBuffer",
+    "DynamicThreshold", "OccamyPreemptive", "BShareDelay",
+    "PolicyEngine", "QueueWaitObserver",
+    "POLICIES", "make_policy", "policy_names",
+]

@@ -1,0 +1,122 @@
+"""Buffer policy interface: geometry plus runtime reallocation hooks.
+
+A :class:`BufferPolicy` maps the global buffer configuration (the 1 MB
+pinned receive region and the ~400 KB NIC-SRAM send region of
+Section 4.2) to per-context queue sizes and credit windows.  The paper's
+two schemes are *static*: geometry is fixed at context creation.  The
+dynamic policies in :mod:`repro.fm.policies.dynamic` additionally
+observe live queue activity (`on_enqueue`/`on_dequeue`) and propose new
+allocations at every gang switch (`on_context_switch`), which the
+:class:`~repro.fm.policies.engine.PolicyEngine` normalises and applies
+inside the flushed switch window — the only instant the network is
+globally silent and a reallocation cannot race in-flight packets.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.fm.config import FMConfig
+
+#: queue-kind tags handed to the enqueue/dequeue hooks
+SEND = "send"
+RECV = "recv"
+
+
+@dataclass(frozen=True)
+class ContextGeometry:
+    """Queue sizes and the credit window one context receives."""
+
+    recv_packets: int
+    send_packets: int
+    initial_credits: int
+
+    def __post_init__(self):
+        if self.recv_packets < 0 or self.send_packets < 0 or self.initial_credits < 0:
+            raise ConfigError("context geometry values must be >= 0")
+
+
+@dataclass(frozen=True)
+class JobView:
+    """Per-job live state a policy decides from (one gang-switch instant).
+
+    Occupancies and capacities are the *maximum* over the job's contexts
+    (worst rank governs safety); wait statistics are sums over the job's
+    receive queues since the previous reallocation (the epoch).
+    """
+
+    job_id: int
+    running: bool              # this job is the one being switched IN
+    recv_capacity: int         # current per-context receive allocation
+    send_capacity: int
+    recv_occupancy: int        # max packets resident in any rank's recv queue
+    send_occupancy: int
+    credit_window: int         # max live per-peer window (C0) over ranks
+    recv_wait_us: int          # integrated queueing delay, microseconds
+    recv_dequeues: int         # packets extracted this epoch
+    recv_enqueues: int         # packets delivered this epoch
+
+
+@dataclass(frozen=True)
+class SwitchView:
+    """Everything a policy sees at a reallocation point."""
+
+    config: FMConfig
+    recv_pool: int             # total receive-region packets (Br)
+    send_pool: int             # total NIC-SRAM send packets (Bs)
+    in_job: Optional[int]
+    out_job: Optional[int]
+    jobs: tuple[JobView, ...]  # sorted by job_id — deterministic order
+
+
+class BufferPolicy(abc.ABC):
+    """Maps the global buffer configuration to per-context geometry.
+
+    Static policies implement only :meth:`geometry`.  Dynamic policies
+    set ``dynamic = True`` and additionally implement
+    :meth:`on_context_switch` (and optionally the enqueue/dequeue hooks);
+    the engine then resizes live queues and retargets credit windows at
+    every flushed gang switch.
+    """
+
+    name: str = "abstract"
+    #: True: the PolicyEngine attaches queue observers and reallocates at
+    #: gang switches.  False: geometry is fixed for the context lifetime.
+    dynamic: bool = False
+
+    @abc.abstractmethod
+    def geometry(self, config: FMConfig) -> ContextGeometry:
+        """Queue sizes / credits for one context under this policy."""
+
+    def validate(self, config: FMConfig) -> ContextGeometry:
+        """Config-time check: raises :class:`ConfigError` on geometry a
+        context could never communicate with (policy-dependent)."""
+        return self.geometry(config)
+
+    def describe(self, config: FMConfig) -> str:
+        g = self.geometry(config)
+        return (
+            f"{self.name}: recvQ={g.recv_packets}pkt sendQ={g.send_packets}pkt "
+            f"C0={g.initial_credits} (n={config.max_contexts}, p={config.num_processors})"
+        )
+
+    # -- dynamic hooks (no-ops for static policies) -------------------------
+    def on_enqueue(self, job_id: int, kind: str, occupancy: int,
+                   now: float) -> None:
+        """A packet entered one of the job's queues (hot path — keep O(1))."""
+
+    def on_dequeue(self, job_id: int, kind: str, occupancy: int,
+                   waited: float, now: float) -> None:
+        """A packet left one of the job's queues after ``waited`` seconds."""
+
+    def on_context_switch(self, view: SwitchView) -> Optional[dict]:
+        """Propose new per-job geometry at a flushed gang switch.
+
+        Returns ``{job_id: ContextGeometry}`` *proposals* (the engine
+        clamps them to occupancy floors, live credit exposure, and the
+        physical pools) or None for "leave everything as is".
+        """
+        return None

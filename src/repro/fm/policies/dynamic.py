@@ -1,0 +1,160 @@
+"""Dynamic buffer-sharing policies (the design space beyond the paper).
+
+The paper's schemes are the two fixed points: static partition (tiny
+windows, no switch cost) and full-buffer swap (full windows, maximal
+copy/scan cost).  The policies here resize the partitions *at gang
+switches* instead, trading between those extremes.  All three start every
+context on the fair share ``Br/n`` (exactly the static partition region,
+but with the single-job credit sizing ``(Br/n)/p`` — gang scheduling
+already guarantees only one job's p processes send at a time) and then
+move allocation toward whoever needs it:
+
+- :class:`DynamicThreshold` — Choudhury & Hahne's DT rule: every queue
+  may grow to ``alpha x (free buffer)``; self-regulating because growth
+  shrinks the free pool and hence the threshold.
+- :class:`OccamyPreemptive` — Occamy-style preemptive sharing: stored
+  (descheduled) contexts are reclaimed down to their occupancy floor and
+  the running job gets everything else, minus a reserved headroom kept
+  unallocated so arrivals during reclaim can never over-commit.
+- :class:`BShareDelay` — BShare-style delay-driven sharing: allocation
+  proportional to the queueing delay each job's receive queues
+  accumulated over the last epoch (fed by the engine's per-queue waiting
+  time observers).
+
+Every proposal is integer arithmetic over deterministic inputs; the
+engine clamps proposals to occupancy floors, live credit exposure, and
+the physical pools, so a policy bug can degrade fairness but never
+safety.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.fm.config import FMConfig
+from repro.fm.policies.base import (BufferPolicy, ContextGeometry, SwitchView)
+
+
+class _FairShareDynamic(BufferPolicy):
+    """Shared base: fair-share initial geometry + proposal plumbing."""
+
+    dynamic = True
+
+    def geometry(self, config: FMConfig) -> ContextGeometry:
+        n, p = config.max_contexts, config.num_processors
+        recv = config.recv_queue_packets // n
+        send = config.send_queue_packets // n
+        credits = recv // p
+        if credits == 0:
+            raise ConfigError(
+                f"{self.name}: fair-share start window is zero "
+                f"(Br={config.recv_queue_packets}, n={n}, p={p}); the pool "
+                f"is too small for this many contexts")
+        return ContextGeometry(recv_packets=recv, send_packets=send,
+                               initial_credits=credits)
+
+    def _package(self, view: SwitchView, recv_props: dict) -> dict:
+        """Turn per-job recv proposals into full geometry proposals.
+
+        Send allocation rides along proportionally (same share of the
+        SRAM pool as of the receive region); the credit window is the
+        receive share divided by p, the worst-case sender count under
+        gang scheduling.
+        """
+        p = view.config.num_processors
+        out = {}
+        for job_id, recv in recv_props.items():
+            recv = max(0, min(recv, view.recv_pool))
+            send = view.send_pool * recv // max(1, view.recv_pool)
+            out[job_id] = ContextGeometry(
+                recv_packets=recv, send_packets=send,
+                initial_credits=max(1, recv // p))
+        return out
+
+
+class DynamicThreshold(_FairShareDynamic):
+    """DT rule: any queue may grow to ``alpha x (pool - total occupancy)``.
+
+    ``alpha`` is the classic control parameter, carried as an integer
+    ratio so proposals stay exactly reproducible.  Jobs below the
+    threshold keep at least their occupancy; the engine's normalisation
+    converts the (possibly over-subscribed) per-job thresholds into a
+    feasible allocation.
+    """
+
+    name = "dynamic-threshold"
+
+    def __init__(self, alpha_num: int = 1, alpha_den: int = 1):
+        if alpha_num <= 0 or alpha_den <= 0:
+            raise ConfigError("alpha must be a positive ratio")
+        self.alpha_num = alpha_num
+        self.alpha_den = alpha_den
+
+    def on_context_switch(self, view: SwitchView) -> Optional[dict]:
+        if not view.jobs:
+            return None
+        free = view.recv_pool - sum(j.recv_occupancy for j in view.jobs)
+        threshold = max(0, self.alpha_num * free // self.alpha_den)
+        props = {j.job_id: max(j.recv_occupancy, threshold)
+                 for j in view.jobs}
+        return self._package(view, props)
+
+
+class OccamyPreemptive(_FairShareDynamic):
+    """Preemptive sharing: reclaim stored contexts down to their floor.
+
+    A stored job keeps ``max(occupancy, p)`` receive slots (p slots keep
+    its credit window alive at >= 1, so it can restart instantly when its
+    slot next runs); the running job is offered the entire remainder
+    except a reserved headroom of ``reserve_num/reserve_den`` of the pool
+    that is never allocated to anyone — the slack that absorbs credit
+    exposure the engine could not reclaim mid-flight.
+    """
+
+    name = "occamy"
+
+    def __init__(self, reserve_num: int = 1, reserve_den: int = 16):
+        if reserve_num < 0 or reserve_den <= 0 or reserve_num >= reserve_den:
+            raise ConfigError("reserve must be a ratio in [0, 1)")
+        self.reserve_num = reserve_num
+        self.reserve_den = reserve_den
+
+    def on_context_switch(self, view: SwitchView) -> Optional[dict]:
+        if not view.jobs or view.in_job is None:
+            return None
+        p = view.config.num_processors
+        reserve = view.recv_pool * self.reserve_num // self.reserve_den
+        props = {}
+        stored_total = 0
+        for j in view.jobs:
+            if j.job_id != view.in_job:
+                props[j.job_id] = max(j.recv_occupancy, p)
+                stored_total += props[j.job_id]
+        props[view.in_job] = max(p, view.recv_pool - reserve - stored_total)
+        return self._package(view, props)
+
+
+class BShareDelay(_FairShareDynamic):
+    """Delay-driven sharing: allocation follows observed queueing delay.
+
+    Each job's weight is ``1 + mean per-packet wait (us)`` over the
+    closing epoch, so a job whose receivers lag (deep queues, slow
+    extraction) attracts buffer, while idle jobs decay back toward the
+    fair share.  The +1 keeps silent jobs from starving and makes the
+    no-traffic epoch degenerate exactly to the fair share.
+    """
+
+    name = "bshare"
+
+    def on_context_switch(self, view: SwitchView) -> Optional[dict]:
+        if not view.jobs:
+            return None
+        weights = {}
+        for j in view.jobs:
+            mean_wait_us = j.recv_wait_us // j.recv_dequeues if j.recv_dequeues else 0
+            weights[j.job_id] = 1 + mean_wait_us
+        total = sum(weights.values())
+        props = {job_id: view.recv_pool * w // total
+                 for job_id, w in weights.items()}
+        return self._package(view, props)

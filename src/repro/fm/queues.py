@@ -38,6 +38,9 @@ class PacketQueue:
         self.sim = sim
         self.capacity = capacity_packets
         self.name = name
+        #: optional waiting-time tap (dynamic buffer policies); None on
+        #: every hot path unless a PolicyEngine attached one
+        self.wait_observer = None
         self._items: Deque[Packet] = deque()
         self._getters: Deque[Event] = deque()
         self._space_waiters: Deque[Event] = deque()
@@ -62,7 +65,11 @@ class PacketQueue:
 
     @property
     def free_slots(self) -> int:
-        return self.capacity - len(self._items)
+        # Clamped: a runtime capacity shrink below the current occupancy
+        # (dynamic buffer policies) must read as "no free slots", not a
+        # negative count.
+        free = self.capacity - len(self._items)
+        return free if free > 0 else 0
 
     @property
     def valid_packets(self) -> int:
@@ -102,6 +109,9 @@ class PacketQueue:
         self.total_appended += 1
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
+        obs = self.wait_observer
+        if obs is not None:
+            obs.enqueued(self.sim.now, occupancy)
         if self._getters:
             self._getters.popleft().succeed(self._pop())
         waiters = self._nonempty_waiters
@@ -113,6 +123,9 @@ class PacketQueue:
     def _pop(self) -> Packet:
         packet = self._items.popleft()
         self.total_removed += 1
+        obs = self.wait_observer
+        if obs is not None:
+            obs.dequeued(self.sim.now, len(self._items))
         while self._space_waiters and not self.is_full:
             self._space_waiters.popleft().succeed()
         return packet
@@ -130,6 +143,9 @@ class PacketQueue:
             raise SimulationError(f"queue {self.name!r}: mixing try_pop with pending get()")
         packet = items.popleft()
         self.total_removed += 1
+        obs = self.wait_observer
+        if obs is not None:
+            obs.dequeued(self.sim.now, len(items))
         waiters = self._space_waiters
         if waiters and len(items) < self.capacity:
             # Level-triggered: release everyone while a slot is free (the
@@ -177,12 +193,37 @@ class PacketQueue:
             self._space_waiters.append(ev)
         return ev
 
+    # -- dynamic policy support -------------------------------------------------
+    def set_capacity(self, capacity_packets: int) -> None:
+        """Retarget the capacity at runtime (dynamic buffer policies).
+
+        Growing releases space waiters level-triggered, exactly like a
+        pop freeing a slot.  Shrinking **below the current occupancy is
+        legal**: resident packets are never dropped; the queue simply
+        admits nothing (``is_full``, ``free_slots == 0``) until drains
+        bring it back under the new capacity.  Callers are responsible
+        for only resizing when the producers are quiesced (the policy
+        engine does this inside the flushed switch window).
+        """
+        if capacity_packets < 0:
+            raise ConfigError(f"negative queue capacity {capacity_packets}")
+        grew = capacity_packets > self.capacity
+        self.capacity = capacity_packets
+        if grew and self._space_waiters and len(self._items) < capacity_packets:
+            # Level-triggered, matching try_pop: release everyone while a
+            # slot is free; waiters re-check fullness before appending.
+            while self._space_waiters:
+                self._space_waiters.popleft().succeed()
+
     # -- buffer switching support ----------------------------------------------
     def drain_all(self) -> list[Packet]:
         """Remove and return everything (saving a context to backing store)."""
         packets = list(self._items)
         self._items.clear()
         self.total_removed += len(packets)
+        obs = self.wait_observer
+        if obs is not None:
+            obs.drained()
         while self._space_waiters and not self.is_full:
             self._space_waiters.popleft().succeed()
         return packets

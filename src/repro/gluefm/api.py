@@ -50,7 +50,8 @@ class GlueFM:
                  config: FMConfig, switch_algorithm: Optional[SwitchAlgorithm] = None,
                  tracer: Optional[Tracer] = None, strict_no_loss: bool = False,
                  firmware_class: Optional[type] = None,
-                 firmware_kwargs: Optional[dict] = None):
+                 firmware_kwargs: Optional[dict] = None,
+                 policy_engine=None):
         self.sim = sim
         self.node = node
         self.fabric = fabric
@@ -64,6 +65,9 @@ class GlueFM:
         self.firmware_class = (firmware_class if firmware_class is not None
                                else LanaiFirmware)
         self.firmware_kwargs = dict(firmware_kwargs) if firmware_kwargs else {}
+        #: shared PolicyEngine when the buffer policy is dynamic (one per
+        #: cluster — reallocation plans span all nodes); None otherwise
+        self.policy_engine = policy_engine
         self.firmware: Optional[LanaiFirmware] = None
         self.flush: Optional[FlushProtocol] = None
         self.backing = BackingStore(now=lambda: sim.now)
@@ -123,6 +127,8 @@ class GlueFM:
         yield self.node.cpu.busy(self.INIT_JOB_TIME)
         ctx = FMContext.create(self.sim, self.node.node_id, job_id, rank,
                                rank_to_node, self.config, policy)
+        if self.policy_engine is not None:
+            self.policy_engine.register(ctx)
         if install:
             self.firmware.install_context(ctx)
         self._contexts[job_id] = ctx
@@ -141,6 +147,8 @@ class GlueFM:
         yield self.node.cpu.busy(self.END_JOB_TIME)
         if self.firmware.installed_context(job_id) is ctx:
             self.firmware.remove_context(ctx)
+        if self.policy_engine is not None:
+            self.policy_engine.forget(job_id, self.node.node_id)
         self.firmware.forget_job(job_id)
         self.backing.discard(job_id)   # stored-at-death jobs leave an image
         self.tracer.record("end-job", node=self.node.node_id, job=job_id)
@@ -191,11 +199,16 @@ class GlueFM:
         yield self.flush.begin_flush()
         return self.sim.now - start
 
-    def COMM_context_switch(self, out_job: Optional[int], in_job: Optional[int]):
+    def COMM_context_switch(self, out_job: Optional[int], in_job: Optional[int],
+                            sequence: Optional[int] = None):
         """Stage 2: swap buffer contents (a generator returning SwitchReport).
 
         ``out_job``/``in_job`` may be None for idle slots.  The network
-        must be flushed (stage 1) before this is called.
+        must be flushed (stage 1) before this is called.  ``sequence`` is
+        the masterd switch sequence number; under a dynamic buffer policy
+        it keys the cluster-wide reallocation plan (computed once per
+        sequence, applied by every node between its copy-out and
+        install — the only point a context's buffer footprint may change).
         """
         self._require_init()
         if self.flush is not None and not self.flush.is_flushed:
@@ -209,6 +222,9 @@ class GlueFM:
             self.firmware.remove_context(out_ctx)
         report = yield from self.switch_algorithm.run(self.node, out_ctx, in_ctx,
                                                       self.backing)
+        if self.policy_engine is not None:
+            self.policy_engine.on_context_switch(self.node.node_id, sequence,
+                                                 out_job, in_job)
         if in_ctx is not None:
             self.firmware.install_context(in_ctx)
         self.tracer.record("buffer-switch", node=self.node.node_id,

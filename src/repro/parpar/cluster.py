@@ -54,6 +54,9 @@ class ClusterConfig:
     time_slots: int = 4
     quantum: float = 0.020      # scaled; the paper used 1-3 s (see DESIGN.md)
     buffer_switching: bool = True
+    #: explicit buffer policy instance; overrides both the
+    #: ``fm.buffer_policy`` name and the ``buffer_switching`` default
+    policy: Optional[BufferPolicy] = None
     switch_algorithm: Optional[SwitchAlgorithm] = None  # default ValidOnlyCopy
     fm: Optional[FMConfig] = None   # default derived from nodes/slots
     node_spec: NodeSpec = field(default_factory=NodeSpec)
@@ -102,7 +105,28 @@ class ClusterConfig:
                         num_processors=self.num_nodes)
 
     def resolved_policy(self) -> BufferPolicy:
-        return FullBuffer() if self.buffer_switching else StaticPartition()
+        """Buffer policy resolution: explicit instance > named > mode default.
+
+        The mode default preserves the paper's comparison axis: buffer
+        switching pairs with FullBuffer, resident mode with the original
+        static partition.  Dynamic policies (``policy`` instance or an
+        ``fm.buffer_policy`` name from the registry) need the flushed
+        switch window to reallocate, so they require
+        ``buffer_switching=True``.
+        """
+        if self.policy is not None:
+            resolved = self.policy
+        elif self.resolved_fm().buffer_policy:
+            from repro.fm.policies import make_policy
+            resolved = make_policy(self.resolved_fm().buffer_policy)
+        else:
+            return FullBuffer() if self.buffer_switching else StaticPartition()
+        if getattr(resolved, "dynamic", False) and not self.buffer_switching:
+            raise ConfigError(
+                f"dynamic buffer policy {resolved.name!r} requires "
+                f"buffer_switching=True (reallocation happens inside the "
+                f"flushed switch window)")
+        return resolved
 
     def resolved_switch(self) -> SwitchAlgorithm:
         return (self.switch_algorithm if self.switch_algorithm is not None
@@ -129,6 +153,12 @@ class ParParCluster:
         self.sim = sim if sim is not None else Simulator()
         self.fm_config = config.resolved_fm()
         self.policy = config.resolved_policy()
+        if getattr(self.policy, "dynamic", False):
+            from repro.fm.policies.engine import PolicyEngine
+            self.policy_engine: Optional[PolicyEngine] = PolicyEngine(
+                self.sim, self.policy, self.fm_config)
+        else:
+            self.policy_engine = None
         if config.telemetry:
             from repro.telemetry.session import Telemetry
             self.telemetry: Optional["Telemetry"] = Telemetry(
@@ -182,7 +212,8 @@ class ParParCluster:
                           tracer=self.tracer,
                           strict_no_loss=config.strict_no_loss,
                           firmware_class=firmware_class,
-                          firmware_kwargs=firmware_kwargs)
+                          firmware_kwargs=firmware_kwargs,
+                          policy_engine=self.policy_engine)
             glue.COMM_init_node(participants)
             self.glue.append(glue)
             self.nodeds.append(noded_class(

@@ -300,7 +300,8 @@ class NodeDaemon:
                 stage = spans.begin("swap", category="switch",
                                     parent=switch_span,
                                     node=self.node.node_id)
-            report = yield from self.glue.COMM_context_switch(out_job, in_job)
+            report = yield from self.glue.COMM_context_switch(
+                out_job, in_job, sequence=sequence)
             switch_s = report.duration
             out_send, out_recv = report.out_send_valid, report.out_recv_valid
             if spans:

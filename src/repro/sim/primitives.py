@@ -186,6 +186,20 @@ class Semaphore:
         self._value += n
         self._drain()
 
+    def reclaim(self, n: int = 1) -> int:
+        """Take up to ``n`` units immediately, bypassing the waiter queue.
+
+        The revocation primitive (credit-window shrinks): unlike
+        ``try_acquire`` it does not yield priority to queued waiters —
+        the whole point is to remove units before they are handed out.
+        Returns how many units were actually taken (never negative).
+        """
+        if n < 0:
+            raise SimulationError(f"reclaim() needs a non-negative count, got {n}")
+        take = n if n <= self._value else self._value
+        self._value -= take
+        return take
+
     def wait_value(self, n: int = 1) -> Event:
         """Event that fires when the count reaches ``n`` — WITHOUT taking.
 

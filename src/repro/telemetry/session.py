@@ -171,12 +171,29 @@ def harvest_recovery(registry: MetricsRegistry, stats) -> None:
         hist.observe(latency)
 
 
+def harvest_policy(registry: MetricsRegistry, engine) -> None:
+    """Fold a PolicyEngine's reallocation counters into the registry.
+
+    ``policy.min_window``/``policy.max_window`` land as gauges (a merged
+    snapshot sums them across points — divide by ``policy.reports`` for
+    means); everything else is a monotone counter.
+    """
+    for name, value in engine.counters().items():
+        if name in ("min_window", "max_window"):
+            registry.gauge(f"policy.{name}").add(value)
+        else:
+            registry.counter(f"policy.{name}").inc(value)
+    registry.counter("policy.reports").inc(1)
+
+
 def harvest_cluster(telemetry: Telemetry, cluster) -> None:
     """Fold one ParParCluster's deterministic counters into the registry."""
     registry = telemetry.registry
     harvest_firmwares(registry, (g.firmware for g in cluster.glue))
     harvest_fabric(registry, cluster.fabric)
     harvest_switches(registry, cluster.recorder)
+    if getattr(cluster, "policy_engine", None) is not None:
+        harvest_policy(registry, cluster.policy_engine)
     if cluster.fault_injector is not None:
         harvest_faults(registry, cluster.fault_injector)
     if getattr(cluster, "recovery_stats", None) is not None:

@@ -182,3 +182,105 @@ class TestConservation:
             CreditState(sim, c0=-1, peers=[])
         with pytest.raises(CreditError):
             CreditState(sim, c0=1, peers=[], low_water_fraction=1.5)
+
+
+class TestSetWindow:
+    """Runtime window retargeting (the dynamic buffer policies' lever)."""
+
+    def test_grow_mints_credits_to_every_peer(self, sim):
+        cs = CreditState(sim, c0=2, peers=[1, 2])
+        achieved = cs.set_window(5)
+        assert achieved == 5 and cs.c0 == 5
+        assert cs.available(1) == 5 and cs.available(2) == 5
+
+    def test_shrink_reclaims_available_credits(self, sim):
+        cs = CreditState(sim, c0=5, peers=[1, 2])
+        achieved = cs.set_window(2)
+        assert achieved == 2 and cs.c0 == 2
+        assert cs.available(1) == 2 and cs.available(2) == 2
+
+    def test_shrink_limited_by_in_flight_credits(self, sim):
+        """Credits already committed to packets cannot be reclaimed; the
+        achieved window stops at what was actually available."""
+        cs = CreditState(sim, c0=4, peers=[1])
+
+        def spend():
+            for _ in range(3):
+                yield cs.acquire_send(1)
+
+        sim.process(spend())
+        sim.run()
+        assert cs.available(1) == 1
+        achieved = cs.set_window(0)
+        assert achieved == 3          # only 1 of the 4 was reclaimable
+        assert cs.available(1) == 0
+
+    def test_shrink_uniform_across_peers(self, sim):
+        cs = CreditState(sim, c0=4, peers=[1, 2])
+
+        def spend():
+            yield cs.acquire_send(1)
+            yield cs.acquire_send(1)
+
+        sim.process(spend())
+        sim.run()
+        # peer 1 has 2 available, peer 2 has 4; reclaim is bounded by the
+        # minimum so C0 stays a scalar.
+        achieved = cs.set_window(1)
+        assert achieved == 2
+        assert cs.available(1) == 0 and cs.available(2) == 2
+
+    def test_thresholds_follow_the_window(self, sim):
+        cs = CreditState(sim, c0=8, peers=[1])
+        old_threshold = cs.refill_threshold
+        cs.set_window(2)
+        assert cs.refill_threshold <= old_threshold
+        assert cs.refill_threshold >= 1
+        cs.set_window(16)
+        assert cs.refill_threshold >= 1
+
+    def test_negative_window_rejected(self, sim):
+        cs = CreditState(sim, c0=2, peers=[1])
+        with pytest.raises(CreditError):
+            cs.set_window(-1)
+
+    def test_noop_returns_current(self, sim):
+        cs = CreditState(sim, c0=3, peers=[1])
+        assert cs.set_window(3) == 3
+
+    def test_refill_after_shrink_never_overflows(self, sim):
+        """Conservation survives a shrink: the credits still out there sum
+        to exactly the new C0, so their return cannot trip the strict
+        overflow guard."""
+        cs = CreditState(sim, c0=4, peers=[1])
+
+        def spend():
+            for _ in range(3):
+                yield cs.acquire_send(1)
+
+        sim.process(spend())
+        sim.run()
+        cs.set_window(0)              # achieves 3: the spent credits
+        assert cs.c0 == 3 and cs.available(1) == 0
+        cs.on_refill(1, 3)            # all of them come home
+        assert cs.available(1) == 3
+
+    def test_grow_releases_blocked_sender(self, sim):
+        cs = CreditState(sim, c0=1, peers=[1])
+        log = []
+
+        def tx():
+            yield cs.acquire_send(1)
+            log.append("first")
+            yield cs.acquire_send(1)
+            log.append("second")
+
+        sim.process(tx())
+
+        def grow():
+            yield sim.timeout(1.0)
+            cs.set_window(2)
+
+        sim.process(grow())
+        sim.run()
+        assert log == ["first", "second"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CreditError
+from repro.errors import ConfigError, CreditError
 from repro.fm.buffers import FullBuffer, StaticPartition
 from repro.fm.config import FMConfig
 from repro.fm.harness import FMNetwork
@@ -101,9 +101,20 @@ class TestPointToPoint:
 
     def test_zero_credit_config_raises(self, sim):
         # 8 contexts, 16 processors: the paper's "no communication" point.
+        # The default policy now refuses to build the geometry at all.
         config = FMConfig(max_contexts=8, num_processors=16)
         net = FMNetwork(sim, num_nodes=2, config=config)
-        sender, receiver = net.create_job(1, [0, 1], StaticPartition())
+        with pytest.raises(ConfigError, match="zero credit window"):
+            net.create_job(1, [0, 1], StaticPartition())
+
+    def test_zero_credit_report_mode_keeps_legacy_stall(self, sim):
+        # "report" mode preserves the legacy geometry: C0 = 0 and the
+        # first send dies on CreditError (the behaviour figure 5 plots).
+        config = FMConfig(max_contexts=8, num_processors=16)
+        net = FMNetwork(sim, num_nodes=2, config=config)
+        sender, receiver = net.create_job(
+            1, [0, 1], StaticPartition(on_zero_credit="report"))
+        assert sender.context.geometry.initial_credits == 0
 
         def tx():
             yield from sender.library.send(1, 100)
@@ -162,10 +173,13 @@ class TestBandwidthShape:
         assert 50 < bw < 85, f"1-context bandwidth {bw:.1f} MB/s out of range"
 
     def test_bandwidth_collapses_with_contexts(self):
-        bw1 = self._measure(StaticPartition(), max_contexts=1)
-        bw2 = self._measure(StaticPartition(), max_contexts=2)
-        bw4 = self._measure(StaticPartition(), max_contexts=4)
-        bw8 = self._measure(StaticPartition(), max_contexts=8)
+        # "report" mode lets the n=8 zero-credit point run (and return 0.0)
+        # instead of raising at job creation.
+        legacy = lambda: StaticPartition(on_zero_credit="report")
+        bw1 = self._measure(legacy(), max_contexts=1)
+        bw2 = self._measure(legacy(), max_contexts=2)
+        bw4 = self._measure(legacy(), max_contexts=4)
+        bw8 = self._measure(legacy(), max_contexts=8)
         assert bw1 > bw2 > bw4 > bw8
         assert bw8 == 0.0  # paper: no communication at 8 contexts
         assert bw4 < 0.5 * bw1

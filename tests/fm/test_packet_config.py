@@ -92,7 +92,9 @@ class TestStaticPartition:
     ])
     def test_credit_collapse_matches_paper(self, n, expected_c0):
         cfg = FMConfig(max_contexts=n, num_processors=16)
-        geo = StaticPartition().geometry(cfg)
+        # "report" mode: the zero-credit cells are the collapse the paper
+        # documents; the default mode refuses to build them.
+        geo = StaticPartition(on_zero_credit="report").geometry(cfg)
         assert geo.initial_credits == expected_c0
 
     def test_queues_divided_by_contexts(self):

@@ -187,3 +187,87 @@ class TestSwitchSupport:
         q.append(pkt(0))
         snap = q.snapshot()
         assert len(snap) == 1 and len(q) == 1
+
+
+class TestRuntimeResize:
+    """set_capacity: the policy engine's queue-resizing primitive."""
+
+    def test_grow_simple(self, sim):
+        q = PacketQueue(sim, 2)
+        q.append(pkt(0))
+        q.append(pkt(1))
+        assert q.is_full
+        q.set_capacity(4)
+        assert q.capacity == 4 and q.free_slots == 2
+        q.append(pkt(2))
+
+    def test_negative_capacity_rejected(self, sim):
+        q = PacketQueue(sim, 2)
+        with pytest.raises(ConfigError):
+            q.set_capacity(-20)
+
+    def test_shrink_below_occupancy_keeps_packets(self, sim):
+        """The engine may plan a shrink while packets sit queued; nothing
+        is dropped — the queue just reads full until it drains down."""
+        q = PacketQueue(sim, 4)
+        for i in range(3):
+            q.append(pkt(i))
+        q.set_capacity(2)
+        assert q.capacity == 2
+        assert len(q) == 3            # no drops
+        assert q.is_full
+        assert q.free_slots == 0      # clamped, never negative
+        with pytest.raises(BufferOverflowError):
+            q.append(pkt(9))
+        # Drain to below the new capacity; normal service resumes.
+        assert [q.try_pop().msg_id for _ in range(2)] == [0, 1]
+        q.append(pkt(3))
+        assert [q.try_pop().msg_id, q.try_pop().msg_id] == [2, 3]
+
+    def test_grow_wakes_space_waiters(self, sim):
+        q = PacketQueue(sim, 1)
+        q.append(pkt(0))
+        woke = []
+
+        def producer(label):
+            yield q.wait_space()
+            q.append(pkt(label))
+            woke.append(label)
+
+        sim.process(producer(1))
+        sim.process(producer(2))
+
+        def grower():
+            yield sim.timeout(1.0)
+            q.set_capacity(3)
+
+        sim.process(grower())
+        sim.run()
+        assert sorted(woke) == [1, 2]
+        assert len(q) == 3
+
+    def test_shrink_does_not_wake_waiters(self, sim):
+        q = PacketQueue(sim, 1)
+        q.append(pkt(0))
+        woke = []
+
+        def producer():
+            yield q.wait_space()
+            woke.append(1)
+
+        sim.process(producer())
+
+        def shrinker():
+            yield sim.timeout(1.0)
+            q.set_capacity(1)  # no-op resize: still full
+
+        sim.process(shrinker())
+        sim.run()
+        assert woke == []
+
+    def test_peak_occupancy_survives_resize(self, sim):
+        q = PacketQueue(sim, 4)
+        for i in range(3):
+            q.append(pkt(i))
+        q.set_capacity(8)
+        assert q.peak_occupancy == 3

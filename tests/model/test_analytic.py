@@ -64,11 +64,14 @@ class TestModelAgreement:
 
     def test_zero_window_predicts_zero(self):
         config = FMConfig(max_contexts=8, num_processors=16)
-        geo = StaticPartition().geometry(config)
+        # "report" keeps the legacy zero-credit geometry; the default mode
+        # rejects this configuration at geometry time.
+        policy = StaticPartition(on_zero_credit="report")
+        geo = policy.geometry(config)
         prediction = predict_p2p_bandwidth(config, geo, 16384)
         assert prediction.mbps == 0.0
         assert prediction.window_limited
-        assert simulate(config, StaticPartition(), 16384, messages=10) == 0.0
+        assert simulate(config, policy, 16384, messages=10) == 0.0
 
 
 class TestModelStructure:
@@ -94,7 +97,7 @@ class TestModelStructure:
         values = []
         for contexts in (1, 2, 3, 4, 6, 8):
             cfg = FMConfig(max_contexts=contexts, num_processors=16)
-            geo = StaticPartition().geometry(cfg)
+            geo = StaticPartition(on_zero_credit="report").geometry(cfg)
             values.append(predict_p2p_bandwidth(cfg, geo, 16384).mbps)
         assert values == sorted(values, reverse=True)
 

@@ -77,7 +77,7 @@ def test_policy_geometry_invariants(n, p):
     from repro.fm.buffers import FullBuffer, StaticPartition
 
     config = FMConfig(max_contexts=n, num_processors=p)
-    static = StaticPartition().geometry(config)
+    static = StaticPartition(on_zero_credit="report").geometry(config)
     full = FullBuffer().geometry(config)
     # Static: n*p potential senders, each with C0 credits.
     assert static.initial_credits * n * p <= static.recv_packets

@@ -28,6 +28,28 @@ class TestCli:
                      "--quantum", "0.01"]) == 0
         assert "Figure 6" in capsys.readouterr().out
 
+    def test_figure_policies_small(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert main(["figure_policies", "--jobs", "2",
+                     "--policies", "static-partition", "occamy",
+                     "--sizes", "1536", "--quantum", "0.01",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Buffer policies" in out
+        assert "occamy" in out and "static-partition" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-bench-policies/1"
+        assert {p["policy"] for p in doc["points"]} == {"static-partition",
+                                                        "occamy"}
+
+    def test_figure_policies_unknown_policy_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["figure_policies", "--policies", "lru", "--jobs", "1"])
+
     def test_chaos_small_audited(self, capsys):
         import json
 
