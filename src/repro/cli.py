@@ -104,6 +104,40 @@ def build_parser() -> argparse.ArgumentParser:
                          "checked-in schema and require a complete "
                          "halt/swap/release switch; exit non-zero otherwise")
 
+    px = sub.add_parser(
+        "explain",
+        help="causal latency attribution: where every microsecond went")
+    px.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4],
+                    help="competing gang-scheduled jobs per point")
+    px.add_argument("--sizes", type=int, nargs="+", default=[1536],
+                    help="message sizes in bytes")
+    px.add_argument("--messages", type=int, default=None,
+                    help="messages per job (default: sized to ~3 quanta)")
+    px.add_argument("--policy", default=None,
+                    help="buffer-sharing policy arm (adds reallocation "
+                         "spans; see 'figure_policies')")
+    px.add_argument("--seed", type=int, default=0)
+    px.add_argument("--trace", metavar="TRACE.json", default=None,
+                    help="analyze a saved repro-trace/1 document instead "
+                         "of running the simulation")
+    px.add_argument("--save-trace", dest="save_trace", metavar="OUT.json",
+                    default=None,
+                    help="write the normalized record streams here "
+                         "(re-ingestable with --trace)")
+    px.add_argument("--json", dest="json_out", metavar="OUT.json",
+                    default=None,
+                    help="write the repro-explain/1 attribution summary")
+    px.add_argument("--chrome", metavar="OUT.json", default=None,
+                    help="write a Chrome trace_event file with flow "
+                         "arrows for the last point")
+    px.add_argument("--top", type=int, default=5,
+                    help="exemplar messages per point in the JSON summary")
+    px.add_argument("--smoke", action="store_true",
+                    help="CI preset: small sweep, serial vs -j2 must be "
+                         "byte-identical and every cause partition must "
+                         "sum exactly; exit non-zero otherwise")
+    _add_common(px)
+
     pc = sub.add_parser("chaos", help="fault-injection campaign + safety audit")
     pc.add_argument("--seed", type=int, default=0)
     pc.add_argument("--runs", type=int, default=1,
@@ -196,6 +230,7 @@ EXPERIMENTS = {
     "headline": "Sec 4.2 headline overhead bounds",
     "nicmem": "Sec 4.1 NIC memory sufficiency",
     "perf": "DES kernel performance smoke check",
+    "explain": "causal latency attribution + critical-path waterfalls",
     "chaos": "fault-injection campaign with no-loss/no-dup safety audit",
     "telemetry": "traced gang-switch demo (Chrome trace + metrics snapshot)",
     "lint": "simlint determinism & protocol-safety static analysis",
@@ -358,6 +393,64 @@ def main(argv=None) -> int:
         from repro.sim.bench import run_smoke
 
         return run_smoke()
+
+    if args.command == "explain":
+        import json
+
+        from repro.telemetry.explain import (explain_chrome_trace,
+                                             explain_payload, load_trace,
+                                             render_explain, run_explain,
+                                             run_explain_smoke,
+                                             trace_payload)
+
+        if args.smoke:
+            ok, text, json_doc, chrome_doc = run_explain_smoke(
+                root_seed=args.seed)
+            print(text)
+            if args.json_out:
+                with open(args.json_out, "w") as fh:
+                    json.dump(json_doc, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            if args.chrome:
+                with open(args.chrome, "w") as fh:
+                    json.dump(chrome_doc, fh, indent=1, sort_keys=True)
+                    fh.write("\n")
+            return 0 if ok else 1
+
+        if args.trace:
+            with open(args.trace) as fh:
+                results = load_trace(json.load(fh))
+        else:
+            kwargs = {}
+            if args.quantum:
+                kwargs["quantum"] = args.quantum
+            results = run_explain(
+                jobs=tuple(args.jobs), message_sizes=tuple(args.sizes),
+                messages=args.messages, policy=args.policy,
+                root_seed=args.seed, workers=args.workers,
+                keep_records=args.save_trace is not None, **kwargs)
+        print(render_explain(results))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(explain_payload(results, top=args.top), fh,
+                          indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"attribution summary written to {args.json_out}")
+        if args.chrome:
+            with open(args.chrome, "w") as fh:
+                json.dump(explain_chrome_trace(results[-1]), fh, indent=1,
+                          sort_keys=True)
+                fh.write("\n")
+            print(f"Chrome trace written to {args.chrome} "
+                  "-- load it in chrome://tracing or "
+                  "https://ui.perfetto.dev")
+        if args.save_trace:
+            with open(args.save_trace, "w") as fh:
+                json.dump(trace_payload(results), fh, sort_keys=True)
+                fh.write("\n")
+            print(f"record streams written to {args.save_trace}")
+        bad = sum(r["point"]["mismatches"] for r in results)
+        return 1 if bad else 0
 
     if args.command == "chaos":
         import json

@@ -242,7 +242,8 @@ class ReliableFirmware(LanaiFirmware):
         tracer = self.tracer
         if tracer and tracer.wants("pkt-deliver"):
             tracer.record("pkt-deliver", node=self.nic.node_id,
-                          src=packet.src_node, seq=seq, job=packet.job_id)
+                          src=packet.src_node, seq=seq, job=packet.job_id,
+                          msg=packet.msg_id)
         self._send_ack(packet)
         for hook in self.data_delivery_hooks:
             hook(ctx, packet)

@@ -100,36 +100,71 @@ class FMLibrary:
         send_queue = ctx.send_queue
         credits = ctx.credits
         busy = self.host.cpu.busy
+        sim = self.sim
         src_node, job_id, src_rank = ctx.node_id, ctx.job_id, ctx.rank
+        tracer = self.tracer
+        # Causal-tracing gates, resolved once per message: off-run cost is
+        # one falsy check; a kinds-filtered tracer pays three set lookups.
+        if tracer:
+            want_start = tracer.wants("msg-start")
+            want_enq = tracer.wants("pkt-enq")
+            want_stall = tracer.wants("stall")
+        else:
+            want_start = want_enq = want_stall = False
         if nbytes <= payload_cap:
             # Single-fragment fast path — every small-message point in the
             # bandwidth figures lands here.  Message and packet overheads
             # are one continuous host occupancy: a single sleep.
+            if want_start:
+                tracer.record("msg-start", node=src_node, job=job_id,
+                              msg=msg_id, dst=dst_node, dst_rank=dst_rank,
+                              nbytes=nbytes, frags=1)
             yield busy(cfg.host_msg_overhead + cfg.host_packet_overhead
                        + nbytes / cfg.pio_rate)
+            stall_start = -1.0
             while send_queue.is_full:
+                if want_stall and stall_start < 0.0:
+                    stall_start = sim.now
                 yield send_queue.wait_space()
+            if stall_start >= 0.0:
+                tracer.record("stall", node=src_node, job=job_id, msg=msg_id,
+                              cause="buffer-full", dur=sim.now - stall_start)
+            stall_start = -1.0
             while not credits.try_acquire_send(dst_node):
+                if want_stall and stall_start < 0.0:
+                    stall_start = sim.now
                 yield credits.wait_send(dst_node)
-            send_queue.append(Packet(
+            if stall_start >= 0.0:
+                tracer.record("stall", node=src_node, job=job_id, msg=msg_id,
+                              cause="credit", dur=sim.now - stall_start)
+            packet = Packet(
                 PacketType.DATA,
                 src_node=src_node, dst_node=dst_node,
                 job_id=job_id, src_rank=src_rank, dst_rank=dst_rank,
                 payload_bytes=nbytes, msg_id=msg_id,
                 piggyback_refill=credits.take_piggyback(dst_node),
                 tag=tag, payload_obj=payload_obj,
-            ))
+            )
+            send_queue.append(packet)
+            if want_enq:
+                tracer.record("pkt-enq", node=src_node, job=job_id,
+                              msg=msg_id, frag=0, seq=packet.seq,
+                              dst=dst_node)
             self.messages_sent += 1
             self.bytes_sent += nbytes
-            if self.tracer:
-                self.tracer.record("msg-send", node=ctx.node_id, job=ctx.job_id,
-                                   dst_rank=dst_rank, nbytes=nbytes, msg_id=msg_id)
+            if tracer:
+                tracer.record("msg-send", node=src_node, job=job_id,
+                              dst_rank=dst_rank, nbytes=nbytes, msg_id=msg_id)
             return
 
         nfrags = -(-nbytes // payload_cap)  # == cfg.packets_for(nbytes) here
         pio_rate = cfg.pio_rate
         packet_overhead = cfg.host_packet_overhead
         last = nfrags - 1
+        if want_start:
+            tracer.record("msg-start", node=src_node, job=job_id,
+                          msg=msg_id, dst=dst_node, dst_rank=dst_rank,
+                          nbytes=nbytes, frags=nfrags)
         # The per-message overhead is folded into the first fragment's
         # busy period: the host is continuously occupied across both, so
         # one sleep for the sum is timing-exact and saves an event.
@@ -139,14 +174,26 @@ class FMLibrary:
             payload = remaining if remaining < payload_cap else payload_cap
             yield busy(overhead + packet_overhead + payload / pio_rate)
             overhead = 0.0
+            stall_start = -1.0
             while send_queue.is_full:
+                if want_stall and stall_start < 0.0:
+                    stall_start = sim.now
                 yield send_queue.wait_space()
+            if stall_start >= 0.0:
+                tracer.record("stall", node=src_node, job=job_id, msg=msg_id,
+                              cause="buffer-full", dur=sim.now - stall_start)
             # Level-triggered credit wait with an atomic take on wakeup:
             # this process can be SIGSTOPped at any yield, and a taken
             # credit must always be accounted for by a visible queued
             # packet (the credit-conservation audits check exactly that).
+            stall_start = -1.0
             while not credits.try_acquire_send(dst_node):
+                if want_stall and stall_start < 0.0:
+                    stall_start = sim.now
                 yield credits.wait_send(dst_node)
+            if stall_start >= 0.0:
+                tracer.record("stall", node=src_node, job=job_id, msg=msg_id,
+                              cause="credit", dur=sim.now - stall_start)
             packet = Packet(
                 PacketType.DATA,
                 src_node=src_node, dst_node=dst_node,
@@ -158,13 +205,17 @@ class FMLibrary:
                 payload_obj=payload_obj if index == last else None,
             )
             send_queue.append(packet)
+            if want_enq:
+                tracer.record("pkt-enq", node=src_node, job=job_id,
+                              msg=msg_id, frag=index, seq=packet.seq,
+                              dst=dst_node)
             remaining -= payload
 
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        if self.tracer:
-            self.tracer.record("msg-send", node=ctx.node_id, job=ctx.job_id,
-                               dst_rank=dst_rank, nbytes=nbytes, msg_id=msg_id)
+        if tracer:
+            tracer.record("msg-send", node=src_node, job=job_id,
+                          dst_rank=dst_rank, nbytes=nbytes, msg_id=msg_id)
 
     # ------------------------------------------------------------------ receiving
     def extract(self):
@@ -196,8 +247,17 @@ class FMLibrary:
 
         if credits.refill_due(src_node):
             yield self.host.cpu.busy(cfg.refill_send_overhead)
+            tracer = self.tracer
+            want_stall = bool(tracer) and tracer.wants("stall")
+            stall_start = -1.0
             while ctx.send_queue.is_full:
+                if want_stall and stall_start < 0.0:
+                    stall_start = self.sim.now
                 yield ctx.send_queue.wait_space()
+            if stall_start >= 0.0:
+                tracer.record("stall", node=ctx.node_id, job=ctx.job_id,
+                              msg=-1, cause="refill-queue",
+                              dur=self.sim.now - stall_start)
             refill = credits.take_refill(src_node)
             if refill:
                 ctx.send_queue.append(Packet(
@@ -225,7 +285,8 @@ class FMLibrary:
                           tag=packet.tag, payload=packet.payload_obj)
         if self.tracer:
             self.tracer.record("msg-recv", node=ctx.node_id, job=ctx.job_id,
-                               src_rank=packet.src_rank, nbytes=nbytes)
+                               src_rank=packet.src_rank, nbytes=nbytes,
+                               msg=packet.msg_id, src=packet.src_node)
         return message
 
     def extract_messages(self, count: int):

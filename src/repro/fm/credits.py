@@ -46,6 +46,10 @@ class CreditState:
         self.refills_sent = 0
         self.refills_piggybacked = 0
         self.credits_received = 0
+        #: level-triggered waits issued by blocked senders (one per
+        #: wakeup attempt — the stall-clock accountant's ground truth
+        #: for how often this context hit a zero credit window)
+        self.send_waits = 0
 
     # -- introspection -------------------------------------------------------
     @property
@@ -87,6 +91,7 @@ class CreditState:
         """Level-triggered: fires when a credit toward ``peer`` appears
         (without taking it); pair with ``try_acquire_send`` in a loop."""
         self._require_window()
+        self.send_waits += 1
         return self._peer_sem(peer).wait_value(1)
 
     def set_window(self, new_c0: int) -> int:

@@ -98,12 +98,21 @@ class PolicyEngine:
     #: the next begins; a handful is ample slack)
     PLAN_KEEP = 4
 
-    def __init__(self, sim, policy: BufferPolicy, config: FMConfig):
+    def __init__(self, sim, policy: BufferPolicy, config: FMConfig,
+                 tracer=None):
         self.sim = sim
         self.policy = policy
         self.config = config
+        #: optional Tracer (falsy NullTracer when observability is off);
+        #: plan/apply/window records feed the causal layer's reallocation
+        #: spans and window timelines
+        self.tracer = tracer
         self.recv_pool = config.recv_queue_packets
         self.send_pool = config.send_queue_packets
+        #: baseline per-context geometry; the pool share reserved for
+        #: every configured context that has not registered yet
+        self._base = policy.geometry(config)
+        self._jobs_seen: set[int] = set()
         self._contexts: dict[tuple[int, int], FMContext] = {}
         self._observers: dict[tuple[int, int], tuple] = {}
         # (job, node) -> [recv_alloc, send_alloc]; the conservation ledger
@@ -133,10 +142,48 @@ class PolicyEngine:
         ctx.send_queue.wait_observer = send_obs
         ctx.recv_queue.wait_observer = recv_obs
         self._observers[key] = (send_obs, recv_obs)
-        self._alloc[key] = [ctx.geometry.recv_packets,
-                            ctx.geometry.send_packets]
+        self._jobs_seen.add(ctx.job_id)
+        self._alloc[key] = list(self._fit_newcomer(ctx))
         self._note_window(ctx.credits.c0)
         self._check_conservation(ctx.node_id)
+
+    def _fit_newcomer(self, ctx: FMContext) -> tuple[int, int]:
+        """Clamp a late-registering context into the node's remaining room.
+
+        Planning reserves a baseline share for every configured context
+        that has not registered yet, so in the normal lifecycle the
+        baseline geometry always fits.  Under churn (a job evicted and a
+        new one admitted after the residents absorbed the pool) the
+        newcomer is shrunk instead — it has no traffic yet, so its
+        credit window and queue capacities can be cut safely — down to a
+        floor of one credit slot.  Below that floor the baseline is kept
+        and the conservation check reports the over-commit honestly.
+        """
+        node_id = ctx.node_id
+        recv_used = send_used = 0
+        for (jid, nid), (r, s) in self._alloc.items():
+            if nid == node_id:
+                recv_used += r
+                send_used += s
+        recv_room = self.recv_pool - recv_used
+        send_room = self.send_pool - send_used
+        recv = ctx.geometry.recv_packets
+        send = ctx.geometry.send_packets
+        if recv <= recv_room and send <= send_room:
+            return recv, send
+        p = self.config.num_processors
+        new_recv = min(recv, recv_room)
+        new_send = min(send, send_room)
+        if new_recv < p or new_send < 1:
+            return recv, send   # pool exhausted; let conservation raise
+        window = max(1, min(ctx.credits.c0, new_recv // p))
+        ctx.credits.set_window(window)
+        ctx.recv_queue.set_capacity(new_recv)
+        ctx.send_queue.set_capacity(new_send)
+        ctx.geometry = ContextGeometry(
+            recv_packets=new_recv, send_packets=new_send,
+            initial_credits=ctx.credits.c0)
+        return new_recv, new_send
 
     def forget(self, job_id: int, node_id: int) -> None:
         key = (job_id, node_id)
@@ -199,14 +246,21 @@ class PolicyEngine:
         if (sequence, node_id) in self._applied:
             return
         plan = self._plans.get(sequence)
+        tracer = self.tracer
         if plan is None:
             plan = self._compute_plan(out_job, in_job)
             self._plans[sequence] = plan
             while len(self._plans) > self.PLAN_KEEP:
                 del self._plans[min(self._plans)]
+            if tracer and plan:
+                tracer.record(
+                    "realloc-plan", node=node_id, sequence=sequence,
+                    jobs=len({j for j, _ in plan}),
+                    windows=[[j, w] for (j, n), (_, _, w)
+                             in sorted(plan.items()) if n == node_id])
         self._applied.add((sequence, node_id))
         if plan:
-            self._apply_node(node_id, plan)
+            self._apply_node(node_id, plan, sequence)
 
     # ------------------------------------------------------------------ planning
     def _job_ids(self) -> list[int]:
@@ -215,6 +269,20 @@ class PolicyEngine:
     def _contexts_of(self, job_id: int) -> list[FMContext]:
         return [self._contexts[key] for key in sorted(self._contexts)
                 if key[0] == job_id]
+
+    def _effective_pools(self) -> tuple[int, int]:
+        """Pools minus the baseline share of contexts still to come.
+
+        A job that has not registered yet arrives with the baseline
+        geometry; reallocating its share to the residents first would
+        over-commit the node the moment it shows up.  Reserving per
+        *never-seen* job (not per currently-registered one) means the
+        reserve only shrinks — once every configured context has
+        appeared, the full pool is in play forever.
+        """
+        pending = max(0, self.config.max_contexts - len(self._jobs_seen))
+        return (self.recv_pool - pending * self._base.recv_packets,
+                self.send_pool - pending * self._base.send_packets)
 
     def _build_view(self, out_job: Optional[int],
                     in_job: Optional[int]) -> SwitchView:
@@ -242,8 +310,9 @@ class PolicyEngine:
                 recv_dequeues=dequeues,
                 recv_enqueues=enqueues,
             ))
-        return SwitchView(config=self.config, recv_pool=self.recv_pool,
-                          send_pool=self.send_pool, in_job=in_job,
+        recv_pool, send_pool = self._effective_pools()
+        return SwitchView(config=self.config, recv_pool=recv_pool,
+                          send_pool=send_pool, in_job=in_job,
                           out_job=out_job, jobs=tuple(views))
 
     @staticmethod
@@ -292,13 +361,14 @@ class PolicyEngine:
         p = self.config.num_processors
         order = self._job_ids()
         job_view = {v.job_id: v for v in view.jobs}
+        recv_pool, send_pool = self._effective_pools()
 
         recv_props = {j: g.recv_packets for j, g in proposals.items()}
         send_props = {j: g.send_packets for j, g in proposals.items()}
 
         # Preliminary recv grants -> window targets.
         floors0 = {j: max(job_view[j].recv_occupancy, p) for j in order}
-        prelim = self._fit(recv_props, floors0, self.recv_pool, order)
+        prelim = self._fit(recv_props, floors0, recv_pool, order)
         targets = {j: max(1, prelim[j] // p) for j in order}
 
         # Per-context achieved windows: shrink is limited by what can be
@@ -324,9 +394,9 @@ class PolicyEngine:
 
         floors = {j: max(job_view[j].recv_occupancy, p, achieved_max[j] * p)
                   for j in order}
-        recv_grants = self._fit(recv_props, floors, self.recv_pool, order)
+        recv_grants = self._fit(recv_props, floors, recv_pool, order)
         send_floors = {j: job_view[j].send_occupancy for j in order}
-        send_grants = self._fit(send_props, send_floors, self.send_pool, order)
+        send_grants = self._fit(send_props, send_floors, send_pool, order)
 
         # Cap growth at what the *final* grant can back: the final fit can
         # squeeze a growing job below its preliminary grant (other jobs'
@@ -343,11 +413,18 @@ class PolicyEngine:
         return plan
 
     # ------------------------------------------------------------------ applying
-    def _apply_node(self, node_id: int, plan: dict) -> None:
+    def _apply_node(self, node_id: int, plan: dict,
+                    sequence: Optional[int] = None) -> None:
         local = [(key, self._contexts[key]) for key in sorted(self._contexts)
                  if key[1] == node_id and key in plan]
         if not local:
             return
+        tracer = self.tracer
+        old_geometry = None
+        if tracer:
+            old_geometry = {key: (ctx.recv_queue.capacity,
+                                  ctx.send_queue.capacity, ctx.credits.c0)
+                            for key, ctx in local}
         # 1. shrink credit windows (frees exposure before capacity moves)
         for key, ctx in local:
             _, _, window = plan[key]
@@ -394,6 +471,20 @@ class PolicyEngine:
                 recv_packets=recv, send_packets=send,
                 initial_credits=ctx.credits.c0)
         self.reallocations += 1
+        if tracer:
+            for key, ctx in local:
+                old_recv, old_send, old_window = old_geometry[key]
+                new_recv = ctx.recv_queue.capacity
+                new_send = ctx.send_queue.capacity
+                new_window = ctx.credits.c0
+                if (old_recv, old_send, old_window) != (new_recv, new_send,
+                                                        new_window):
+                    tracer.record("window-set", node=node_id, job=key[0],
+                                  window=new_window, recv=new_recv,
+                                  send=new_send, old_window=old_window,
+                                  old_recv=old_recv, old_send=old_send)
+            tracer.record("realloc-apply", node=node_id, sequence=sequence,
+                          contexts=len(local))
 
     # ------------------------------------------------------------------ telemetry
     def counters(self) -> dict:

@@ -50,6 +50,10 @@ class PacketQueue:
         self.total_appended = 0
         self.total_removed = 0
         self.peak_occupancy = 0
+        #: waits that actually blocked (issued while empty/full) — the
+        #: stall-clock accountant's per-queue contention counters
+        self.space_waits = 0
+        self.nonempty_waits = 0
 
     # -- observers -------------------------------------------------------------
     def __len__(self) -> int:
@@ -181,6 +185,7 @@ class PacketQueue:
         if self._items:
             ev.succeed()
         else:
+            self.nonempty_waits += 1
             self._nonempty_waiters.append(ev)
         return ev
 
@@ -190,6 +195,7 @@ class PacketQueue:
         if not self.is_full:
             ev.succeed()
         else:
+            self.space_waits += 1
             self._space_waiters.append(ev)
         return ev
 

@@ -196,6 +196,7 @@ class GlueFM:
         self._require_init()
         start = self.sim.now
         self.node.nic.set_halt_bit()
+        self.tracer.record("nic-halt", node=self.node.node_id)
         yield self.flush.begin_flush()
         return self.sim.now - start
 
@@ -244,5 +245,6 @@ class GlueFM:
         start = self.sim.now
         yield self.flush.begin_release()
         self.node.nic.clear_halt_bit()
+        self.tracer.record("nic-release", node=self.node.node_id)
         self.firmware.wake()
         return self.sim.now - start

@@ -153,12 +153,8 @@ class ParParCluster:
         self.sim = sim if sim is not None else Simulator()
         self.fm_config = config.resolved_fm()
         self.policy = config.resolved_policy()
-        if getattr(self.policy, "dynamic", False):
-            from repro.fm.policies.engine import PolicyEngine
-            self.policy_engine: Optional[PolicyEngine] = PolicyEngine(
-                self.sim, self.policy, self.fm_config)
-        else:
-            self.policy_engine = None
+        # Telemetry first: the policy engine (below) threads the tracer
+        # through its reallocation records.
         if config.telemetry:
             from repro.telemetry.session import Telemetry
             self.telemetry: Optional["Telemetry"] = Telemetry(
@@ -171,6 +167,12 @@ class ParParCluster:
             self.spans = None
             self.tracer = (Tracer(clock=lambda: self.sim.now) if config.trace
                            else NullTracer())
+        if getattr(self.policy, "dynamic", False):
+            from repro.fm.policies.engine import PolicyEngine
+            self.policy_engine: Optional[PolicyEngine] = PolicyEngine(
+                self.sim, self.policy, self.fm_config, tracer=self.tracer)
+        else:
+            self.policy_engine = None
         self.rng = RandomStreams(config.seed)
         self.recorder = SwitchRecorder()
 

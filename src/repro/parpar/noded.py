@@ -175,6 +175,17 @@ class NodeDaemon:
             return  # a dead daemon answers nothing
         self.control_net.send(self.node.node_id, self.master_endpoint, message)
 
+    def _record_sched(self, kind: str, job_id: int) -> None:
+        """Trace a SIGSTOP/SIGCONT edge (``job-stop``/``job-go``).
+
+        The causal layer folds these into per-(node, job) descheduled
+        windows; a repeated stop (fail-stop over an already-parked slot)
+        is tolerated there, so this stays an unconditional record.
+        """
+        spans = self.spans
+        if spans:
+            spans.tracer.record(kind, node=self.node.node_id, job=job_id)
+
     # ------------------------------------------------------------------ job loading
     def _load_job(self, job_id: int, slot: int, rank: int,
                   rank_to_node: dict[int, int], workload: Workload):
@@ -199,6 +210,7 @@ class NodeDaemon:
                                 name=f"app-j{job_id}-r{rank}")
         if not self.resident_mode and slot != self.current_slot:
             proc.suspend()  # the job's gang slot is not running
+            self._record_sched("job-stop", job_id)
         proc.add_callback(lambda ev: self._on_app_done(local, ev))
         local.process = proc
         self._jobs[job_id] = local
@@ -212,7 +224,8 @@ class NodeDaemon:
         # Block on the pipe until the noded forwards the masterd's
         # all-up signal; only then is sending safe.
         yield local.sync_event
-        lib = FMLibrary(self.node, self.glue.firmware, local.context)
+        lib = FMLibrary(self.node, self.glue.firmware, local.context,
+                        tracer=self.glue.tracer)
         local.endpoint = Endpoint(local.context, lib)
         result = yield from local.workload(local.endpoint)
         return result
@@ -285,6 +298,7 @@ class NodeDaemon:
         if out_local is not None and out_local.process is not None:
             yield self.node.cpu.busy(self.SIGNAL_TIME)
             out_local.process.suspend()  # SIGSTOP
+            self._record_sched("job-stop", out_job)
 
         if self.resident_mode:
             halt_s = switch_s = release_s = 0.0
@@ -317,6 +331,7 @@ class NodeDaemon:
         if in_local is not None and in_local.process is not None:
             yield self.node.cpu.busy(self.SIGNAL_TIME)
             in_local.process.resume()  # SIGCONT
+            self._record_sched("job-go", in_job)
 
         if spans and switch_span is not None:
             spans.end(switch_span)
@@ -365,6 +380,7 @@ class NodeDaemon:
         if proc is not None and proc.is_alive:
             yield self.node.cpu.busy(self.SIGNAL_TIME)
             proc.suspend()  # SIGKILL: stopped and never continued
+            self._record_sched("job-stop", job_id)
         if self.glue.has_job(job_id):
             yield from self.glue.COMM_end_job(job_id)
         self._send_master(("killed", job_id, self.node.node_id))
@@ -390,6 +406,7 @@ class NodeDaemon:
         for local in self._jobs.values():
             if local.process is not None and local.process.is_alive:
                 local.process.suspend()
+                self._record_sched("job-stop", local.job_id)
         self._switching = False
         self._switch_idle_waiters.clear()
         self.glue.flush.abandon_round()

@@ -13,14 +13,29 @@ Layout:
   event counts / simulated time, events/s self-benchmark);
 - :mod:`repro.telemetry.spans` — span-begin/span-end records over the
   Tracer stream plus reconstruction and packet/retransmit derivations;
-- :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON and a
-  plain-text summary;
+- :mod:`repro.telemetry.causal` — per-message lineage (fragment
+  timelines, cross-node follows-from edges) and scheduling windows
+  replayed from the flat record stream;
+- :mod:`repro.telemetry.attribution` — the stall-clock accountant:
+  every message's latency partitioned exactly into named causes;
+- :mod:`repro.telemetry.explain` — the ``repro explain`` analyzer
+  (waterfall reports, attribution JSON, Chrome traces with flow
+  arrows, saved-trace ingest);
+- :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON (with
+  per-node track rows and flow events) and a plain-text summary;
 - :mod:`repro.telemetry.schema` — dependency-free validation against the
   checked-in snapshot contract;
 - :mod:`repro.telemetry.session` — the :class:`Telemetry` bundle and the
   component harvesters.
 """
 
+from repro.telemetry.attribution import (CAUSES, attribute_message,
+                                         summarize_attribution,
+                                         summarize_stalls)
+from repro.telemetry.causal import (CAUSAL_KINDS, FragmentTrace,
+                                    MessageTrace, SchedulingWindows,
+                                    build_lineage, build_windows,
+                                    derive_causal_spans)
 from repro.telemetry.export import (render_summary, to_chrome_trace,
                                     write_chrome_trace)
 from repro.telemetry.profiler import KernelProfiler, merge_profiles
@@ -42,6 +57,10 @@ __all__ = [
     "merge_snapshots", "KernelProfiler", "merge_profiles",
     "Span", "SpanEmitter", "build_spans", "derive_packet_spans",
     "derive_retransmit_spans", "summarize_spans",
+    "CAUSAL_KINDS", "FragmentTrace", "MessageTrace", "SchedulingWindows",
+    "build_lineage", "build_windows", "derive_causal_spans",
+    "CAUSES", "attribute_message", "summarize_attribution",
+    "summarize_stalls",
     "render_summary", "to_chrome_trace", "write_chrome_trace",
     "load_snapshot_schema", "validate", "validate_snapshot",
     "Telemetry", "DEFAULT_TRACE_LIMIT", "SNAPSHOT_SCHEMA",

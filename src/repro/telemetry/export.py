@@ -4,11 +4,19 @@ The Chrome format (loadable in ``chrome://tracing`` or Perfetto) renders
 each :class:`~repro.telemetry.spans.Span` as a complete event (``ph:
 "X"``) with microsecond timestamps.  Rows: the trace viewer groups by
 ``pid``/``tid`` — we map ``pid`` to the node id (from the span's ``node``
-arg, 0 for cluster-global spans) and ``tid`` to the span category, so
-one gang context switch reads as a ``gang-switch`` bar with ``halt`` /
-``swap`` / ``release`` bars nested beneath it on the same node row.
-Non-span trace records become instant events (``ph: "i"``) so injected
-faults, drops, and protocol edges line up against the spans.
+arg, 0 for cluster-global spans) and ``tid`` to a per-node *track*
+derived from the span category, with ``thread_name`` metadata rows
+naming each track — so one node reads as a process whose threads are
+``switch``, ``causal``, ``sched``, ``policy``, and so on.  Non-span
+trace records become instant events (``ph: "i"``) on an ``events``
+track so injected faults, drops, and protocol edges line up against
+the spans.
+
+Cross-node causality renders as *flow events* (``ph: "s"`` / ``"f"``):
+:func:`to_chrome_trace` accepts ``flows``, each an arrow from one
+(node, track, timestamp) to another — e.g. a fragment's wire hop from
+the sender NIC to the receiver — drawn by the viewer as a curved arrow
+between the two slices enclosing the endpoints.
 """
 
 from __future__ import annotations
@@ -22,20 +30,57 @@ from repro.telemetry.spans import SPAN_BEGIN, SPAN_END, Span
 _US = 1e6   # simulated seconds -> trace microseconds
 
 
-def _row_of(args: dict) -> tuple[int, str]:
+def _pid_of(args: dict) -> int:
     node = args.get("node")
-    return (int(node) if node is not None else 0), "node"
+    return int(node) if node is not None else 0
+
+
+class _Rows:
+    """Deterministic (pid, track) -> tid assignment, first-seen order."""
+
+    def __init__(self):
+        self.tids: dict[tuple[int, str], int] = {}
+
+    def tid(self, pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = self.tids.get(key)
+        if tid is None:
+            tid = sum(1 for p, _ in self.tids if p == pid)
+            self.tids[key] = tid
+        return tid
+
+    def metadata(self) -> list[dict]:
+        events = []
+        for pid in sorted({p for p, _ in self.tids}):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"node {pid}" if pid
+                         else "node 0 / cluster"},
+            })
+        for (pid, track), tid in sorted(self.tids.items(),
+                                        key=lambda kv: (kv[0][0], kv[1])):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        return events
 
 
 def to_chrome_trace(spans: Iterable[Span],
                     records: Optional[Iterable[TraceRecord]] = None,
-                    metadata: Optional[dict] = None) -> dict:
-    """Build the ``{"traceEvents": [...]}`` object."""
+                    metadata: Optional[dict] = None,
+                    flows: Optional[Iterable[dict]] = None) -> dict:
+    """Build the ``{"traceEvents": [...]}`` object.
+
+    ``flows`` entries are ``{"id": int, "name": str, "cat": str,
+    "start": {"node": int, "track": str, "ts": seconds},
+    "end": {...}}`` — rendered as paired flow-start (``ph: "s"``) and
+    flow-finish (``ph: "f"``, binding to the enclosing slice) events.
+    """
     events = []
-    pids = set()
+    rows = _Rows()
     for span in spans:
-        pid, _ = _row_of(span.args)
-        pids.add(pid)
+        pid = _pid_of(span.args)
         events.append({
             "name": span.name,
             "cat": span.category or "span",
@@ -43,7 +88,7 @@ def to_chrome_trace(spans: Iterable[Span],
             "ts": span.start * _US,
             "dur": span.duration * _US,
             "pid": pid,
-            "tid": 0,
+            "tid": rows.tid(pid, span.category or "span"),
             "args": dict(span.args, span_id=span.span_id,
                          parent_id=span.parent_id),
         })
@@ -51,8 +96,7 @@ def to_chrome_trace(spans: Iterable[Span],
         for rec in records:
             if rec.kind in (SPAN_BEGIN, SPAN_END):
                 continue    # already rendered as complete events
-            pid, _ = _row_of(rec.fields)
-            pids.add(pid)
+            pid = _pid_of(rec.fields)
             events.append({
                 "name": rec.kind,
                 "cat": "event",
@@ -60,22 +104,27 @@ def to_chrome_trace(spans: Iterable[Span],
                 "s": "t",
                 "ts": rec.time * _US,
                 "pid": pid,
-                "tid": 1,
+                "tid": rows.tid(pid, "events"),
                 "args": dict(rec.fields),
             })
-    for pid in sorted(pids):
-        events.append({
-            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-            "args": {"name": f"node {pid}" if pid else "node 0 / cluster"},
-        })
-        events.append({
-            "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
-            "args": {"name": "spans"},
-        })
-        events.append({
-            "name": "thread_name", "ph": "M", "pid": pid, "tid": 1,
-            "args": {"name": "events"},
-        })
+    if flows is not None:
+        for flow in flows:
+            for phase, end_key in (("s", "start"), ("f", "end")):
+                point = flow[end_key]
+                pid = _pid_of(point)
+                event = {
+                    "name": flow.get("name", "flow"),
+                    "cat": flow.get("cat", "flow"),
+                    "ph": phase,
+                    "id": flow["id"],
+                    "ts": point["ts"] * _US,
+                    "pid": pid,
+                    "tid": rows.tid(pid, point.get("track", "span")),
+                }
+                if phase == "f":
+                    event["bp"] = "e"   # bind to the enclosing slice
+                events.append(event)
+    events.extend(rows.metadata())
     trace = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -85,9 +134,11 @@ def to_chrome_trace(spans: Iterable[Span],
     return trace
 
 
-def write_chrome_trace(path, spans, records=None, metadata=None) -> None:
+def write_chrome_trace(path, spans, records=None, metadata=None,
+                       flows=None) -> None:
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(spans, records, metadata), fh, indent=1)
+        json.dump(to_chrome_trace(spans, records, metadata, flows=flows), fh,
+                  indent=1)
         fh.write("\n")
 
 

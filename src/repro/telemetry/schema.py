@@ -7,14 +7,16 @@ drift fails the build instead of silently breaking consumers.
 
 The container deliberately has no ``jsonschema`` package, so this module
 implements the small JSON-Schema subset the contract uses: ``type``,
-``properties``, ``required``, ``additionalProperties``, ``items``,
-``enum`` and ``minimum``.  :func:`validate` returns a list of error
-strings (empty = valid) with JSON-pointer-ish paths.
+``properties``, ``patternProperties``, ``required``,
+``additionalProperties``, ``items``, ``enum`` and ``minimum``.
+:func:`validate` returns a list of error strings (empty = valid) with
+JSON-pointer-ish paths.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any, List
 
@@ -62,15 +64,23 @@ def validate(obj: Any, schema: dict, path: str = "$") -> List[str]:
 
     if isinstance(obj, dict):
         props = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
         for name in schema.get("required", ()):
             if name not in obj:
                 errors.append(f"{path}: missing required property {name!r}")
         extra = schema.get("additionalProperties")
         for key, value in obj.items():
             sub = props.get(key)
+            matched = sub is not None
             if sub is not None:
                 errors.extend(validate(value, sub, f"{path}.{key}"))
-            elif isinstance(extra, dict):
+            for pattern, psub in patterns.items():
+                if re.search(pattern, key):
+                    matched = True
+                    errors.extend(validate(value, psub, f"{path}.{key}"))
+            if matched:
+                continue
+            if isinstance(extra, dict):
                 errors.extend(validate(value, extra, f"{path}.{key}"))
             elif extra is False:
                 errors.append(f"{path}: unexpected property {key!r}")

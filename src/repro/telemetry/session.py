@@ -57,13 +57,20 @@ class Telemetry:
 
     # ------------------------------------------------------------------ spans
     def all_spans(self):
-        """Explicit spans plus packet/retransmit derivations."""
+        """Explicit spans plus packet/retransmit/causal derivations."""
+        from repro.telemetry.causal import derive_causal_spans
         records = self.tracer.records
-        spans = build_spans(records)
+        truncated = self.tracer.truncated
+        spans = build_spans(records, truncated=truncated)
         base = (max((s.span_id for s in spans), default=-1) + 1)
-        spans += derive_packet_spans(records, next_id=max(base, 1_000_000))
-        spans += derive_retransmit_spans(records, next_id=max(base, 1_000_000)
-                                         + 1_000_000)
+        spans += derive_packet_spans(records, next_id=max(base, 1_000_000),
+                                     truncated=truncated)
+        spans += derive_retransmit_spans(records,
+                                         next_id=max(base, 1_000_000)
+                                         + 1_000_000, truncated=truncated)
+        spans += derive_causal_spans(records,
+                                     next_id=max(base, 1_000_000)
+                                     + 2_000_000, truncated=truncated)
         return spans
 
     # ------------------------------------------------------------------ snapshot
@@ -186,10 +193,21 @@ def harvest_policy(registry: MetricsRegistry, engine) -> None:
     registry.counter("policy.reports").inc(1)
 
 
+def harvest_stalls(registry: MetricsRegistry, records) -> None:
+    """Fold per-cause stall totals (from raw ``stall`` records) into
+    ``stall.<cause>.waits`` counters and ``stall.<cause>.seconds`` gauges
+    (gauges sum across merged points, matching the counters)."""
+    from repro.telemetry.attribution import summarize_stalls
+    for cause, cell in summarize_stalls(records).items():
+        registry.counter(f"stall.{cause}.waits").inc(cell["waits"])
+        registry.gauge(f"stall.{cause}.seconds").add(cell["seconds"])
+
+
 def harvest_cluster(telemetry: Telemetry, cluster) -> None:
     """Fold one ParParCluster's deterministic counters into the registry."""
     registry = telemetry.registry
     harvest_firmwares(registry, (g.firmware for g in cluster.glue))
+    harvest_stalls(registry, telemetry.tracer.records)
     harvest_fabric(registry, cluster.fabric)
     harvest_switches(registry, cluster.recorder)
     if getattr(cluster, "policy_engine", None) is not None:
@@ -207,5 +225,6 @@ def harvest_network(telemetry: Telemetry, net) -> None:
     registry = telemetry.registry
     harvest_firmwares(registry, net.firmwares.values())
     harvest_fabric(registry, net.fabric)
+    harvest_stalls(registry, telemetry.tracer.records)
     registry.counter("sim.events").inc(net.sim.processed_events)
     registry.gauge("sim.seconds").add(net.sim.now)

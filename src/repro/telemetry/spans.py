@@ -79,11 +79,16 @@ class SpanEmitter:
 _SPAN_META = frozenset(("span", "parent", "name", "cat"))
 
 
-def build_spans(records: Iterable[TraceRecord]) -> list[Span]:
+def build_spans(records: Iterable[TraceRecord],
+                truncated: bool = False) -> list[Span]:
     """Pair begin/end records into :class:`Span` objects.
 
     Spans never closed (the run ended mid-protocol) are clipped to the
-    last record's timestamp.  Output is ordered by start time, then id.
+    last record's timestamp.  With ``truncated=True`` (the tracer hit its
+    record cap) each clipped span is additionally marked with a
+    ``truncated`` arg — its end record may have been lost to the cap, so
+    the clipped duration is a lower bound, not a measurement.  Output is
+    ordered by start time, then id.
     """
     open_spans: dict[int, TraceRecord] = {}
     closed: list[Span] = []
@@ -98,8 +103,9 @@ def build_spans(records: Iterable[TraceRecord]) -> list[Span]:
             if begin is None:
                 continue    # end without begin: kinds filter ate the begin
             closed.append(_make_span(begin, rec.time, rec.fields))
+    clip_fields = {"truncated": True} if truncated else {}
     for span_id in sorted(open_spans):
-        closed.append(_make_span(open_spans[span_id], last_time, {}))
+        closed.append(_make_span(open_spans[span_id], last_time, clip_fields))
     closed.sort(key=lambda s: (s.start, s.span_id))
     return closed
 
@@ -117,16 +123,27 @@ def _make_span(begin: TraceRecord, end_time: float, end_fields: dict) -> Span:
 
 # ---------------------------------------------------------------- derivations
 def derive_packet_spans(records: Iterable[TraceRecord],
-                        next_id: int = 1_000_000) -> list[Span]:
+                        next_id: int = 1_000_000,
+                        truncated: bool = False) -> list[Span]:
     """Packet lifecycles from per-packet records: tx -> delivery.
 
     Pairs each ``pkt-tx`` carrying a seq with the next ``pkt-deliver`` of
     the same seq (per-pair FIFO makes first-match correct; a retransmitted
     seq yields one span per wire copy that arrived).
+
+    A tx with no matching delivery is normally a genuinely lost wire copy
+    (dropped, corrupted, or superseded) and yields no span.  But when the
+    record stream was ``truncated`` (the tracer hit its cap mid-run) the
+    delivery record may simply be missing, so each unmatched tx becomes
+    an *open* span clipped to the last record time and flagged
+    ``truncated=True`` — visible in the waterfall instead of silently
+    dropped.
     """
     pending: dict[tuple, list] = {}
     spans: list[Span] = []
+    last_time = 0.0
     for rec in records:
+        last_time = rec.time
         kind = rec.kind
         f = rec.fields
         if kind == "pkt-tx" and "seq" in f:
@@ -145,15 +162,32 @@ def derive_packet_spans(records: Iterable[TraceRecord],
                       "seq": f.get("seq"), "job": tx.fields.get("job")},
             ))
             next_id += 1
+    if truncated:
+        leftovers = [tx for key in pending for tx in pending[key]]
+        leftovers.sort(key=lambda r: (r.time, r.fields.get("seq", -1)))
+        for tx in leftovers:
+            f = tx.fields
+            spans.append(Span(
+                span_id=next_id, parent_id=None, name="pkt-flight",
+                category="packet", start=tx.time, end=max(last_time, tx.time),
+                args={"src": f["node"], "dst": f["dst"], "seq": f["seq"],
+                      "job": f.get("job"), "truncated": True},
+            ))
+            next_id += 1
     return spans
 
 
 def derive_retransmit_spans(records: Iterable[TraceRecord],
-                            next_id: int = 2_000_000) -> list[Span]:
+                            next_id: int = 2_000_000,
+                            truncated: bool = False) -> list[Span]:
     """Retransmit epochs: first retransmission of a seq to its delivery.
 
     A seq never delivered (gave up) spans to its last retry instead; the
-    span args carry the retry count and whether it was recovered.
+    span args carry the retry count and whether it was recovered.  When
+    the record stream was ``truncated``, an epoch with no terminal record
+    (neither delivery nor give-up reached the trace before the cap) is
+    flagged ``truncated=True`` — its ``recovered=False`` is unknown, not
+    a verdict.
     """
     first_rto: dict = {}
     last_seen: dict = {}
@@ -176,12 +210,14 @@ def derive_retransmit_spans(records: Iterable[TraceRecord],
             recovered[seq] = True
     spans = []
     for seq in sorted(first_rto):
+        args = {"seq": seq, "retries": retries.get(seq, 0),
+                "recovered": recovered.get(seq, False)}
+        if truncated and seq not in recovered:
+            args["truncated"] = True
         spans.append(Span(
             span_id=next_id, parent_id=None, name="retransmit-epoch",
             category="reliability", start=first_rto[seq],
-            end=last_seen[seq],
-            args={"seq": seq, "retries": retries.get(seq, 0),
-                  "recovered": recovered.get(seq, False)},
+            end=last_seen[seq], args=args,
         ))
         next_id += 1
     return spans

@@ -242,3 +242,125 @@ class TestAuditLearnsPolicyWindows:
         achieved = sender.credits.set_window(1)
         assert achieved >= 1
         assert credit_leaks(by_rank) == {}
+
+
+class TestEngineAdmissionControl:
+    """Late registration: planning must reserve baseline room for every
+    configured context that has not shown up yet, and a newcomer arriving
+    after churn must be clamped into whatever room remains."""
+
+    def partial_rig(self, sim, registered, max_contexts, policy=None,
+                    tracer=None):
+        config = FMConfig(max_contexts=max_contexts, num_processors=16)
+        policy = policy or OccamyPreemptive()
+        engine = PolicyEngine(sim, policy, config, tracer=tracer)
+        contexts = {}
+        for job in registered:
+            for ctx in make_job_contexts(sim, config, policy, job):
+                contexts[(job, ctx.node_id)] = ctx
+                engine.register(ctx)
+        return config, engine, contexts, policy
+
+    def test_effective_pools_reserve_for_unregistered(self, sim):
+        config, engine, _, _ = self.partial_rig(sim, (1, 2), max_contexts=3)
+        base = engine._base
+        recv_eff, send_eff = engine._effective_pools()
+        assert recv_eff == engine.recv_pool - base.recv_packets
+        assert send_eff == engine.send_pool - base.send_packets
+
+    def test_reserve_released_once_all_contexts_seen(self, sim):
+        config, engine, _, _ = self.partial_rig(sim, (1, 2, 3),
+                                                max_contexts=3)
+        assert engine._effective_pools() == (engine.recv_pool,
+                                             engine.send_pool)
+        # the reserve never comes back: jobs_seen is monotone
+        engine.forget(1, 0)
+        engine.forget(1, 1)
+        assert engine._effective_pools() == (engine.recv_pool,
+                                             engine.send_pool)
+
+    def test_late_registration_after_realloc_fits_baseline(self, sim):
+        """The crash mode this guards: two residents absorb the pool at a
+        gang switch, then the third configured job registers with the
+        baseline geometry — the reserve must have kept its room."""
+        config, engine, contexts, policy = self.partial_rig(
+            sim, (1, 2), max_contexts=3)
+        for node in (0, 1):
+            engine.on_context_switch(node, 1, out_job=1, in_job=2)
+        for ctx in make_job_contexts(sim, config, policy, 3):
+            engine.register(ctx)     # must not raise over-commit
+        assert all(cell["ok"]
+                   for cell in engine.conservation_report().values())
+
+    def test_churn_newcomer_clamped_into_remaining_room(self, sim):
+        """After every configured job has been seen the reserve is gone;
+        a replacement job admitted under churn is shrunk, not the cause
+        of an over-commit."""
+        config, engine, contexts, policy = self.partial_rig(
+            sim, (1, 2), max_contexts=2)
+        for node in (0, 1):
+            engine.on_context_switch(node, 1, out_job=1, in_job=2)
+        grown = contexts[(2, 0)].geometry.recv_packets
+        engine.forget(1, 0)
+        engine.forget(1, 1)
+        p = config.num_processors
+        newcomers = make_job_contexts(sim, config, policy, 3)
+        baseline = newcomers[0].geometry.recv_packets
+        for ctx in newcomers:
+            engine.register(ctx)     # must not raise
+        for ctx in newcomers:
+            room = engine.recv_pool - grown
+            assert ctx.geometry.recv_packets <= room
+            assert ctx.geometry.recv_packets < baseline    # actually clamped
+            assert ctx.credits.c0 >= 1
+            assert ctx.credits.c0 * p <= ctx.geometry.recv_packets
+        assert all(cell["ok"]
+                   for cell in engine.conservation_report().values())
+
+
+class TestEngineTraceRecords:
+    """The tracer hook: plan / window-set / apply records feed the causal
+    layer's reallocation spans and window timelines."""
+
+    def traced_rig(self, sim):
+        from repro.sim.trace import Tracer
+        tracer = Tracer(clock=lambda: sim.now)
+        config = FMConfig(max_contexts=2, num_processors=16)
+        policy = OccamyPreemptive()
+        engine = PolicyEngine(sim, policy, config, tracer=tracer)
+        contexts = {}
+        for job in (1, 2):
+            for ctx in make_job_contexts(sim, config, policy, job):
+                contexts[(job, ctx.node_id)] = ctx
+                engine.register(ctx)
+        return engine, tracer, contexts
+
+    def test_plan_apply_and_window_records(self, sim):
+        engine, tracer, _ = self.traced_rig(sim)
+        for node in (0, 1):
+            engine.on_context_switch(node, 7, out_job=1, in_job=2)
+        kinds = [r.kind for r in tracer.records]
+        assert kinds.count("realloc-plan") == 1    # plan memoised
+        assert kinds.count("realloc-apply") == 2   # one apply per node
+        plans = [r for r in tracer.records if r.kind == "realloc-plan"]
+        assert plans[0].fields["sequence"] == 7
+        assert plans[0].fields["jobs"] == 2
+        applies = [r for r in tracer.records if r.kind == "realloc-apply"]
+        assert sorted(a.fields["node"] for a in applies) == [0, 1]
+        window_sets = [r for r in tracer.records if r.kind == "window-set"]
+        assert window_sets, "a preemptive switch must retarget windows"
+        for rec in window_sets:
+            f = rec.fields
+            assert (f["recv"], f["send"], f["window"]) != \
+                (f["old_recv"], f["old_send"], f["old_window"])
+
+    def test_no_records_when_tracing_off(self, sim):
+        config = FMConfig(max_contexts=2, num_processors=16)
+        policy = OccamyPreemptive()
+        engine = PolicyEngine(sim, policy, config)   # no tracer
+        for job in (1, 2):
+            for ctx in make_job_contexts(sim, config, policy, job):
+                engine.register(ctx)
+        for node in (0, 1):
+            engine.on_context_switch(node, 7, out_job=1, in_job=2)
+        assert engine.tracer is None

@@ -162,3 +162,92 @@ class TestRecoveryContract:
         del snap["spans"]["by_name"]["recovery-evict"]["total_seconds"]
         errors = validate_snapshot(snap)
         assert any("recovery-evict" in e for e in errors)
+
+
+class TestPatternProperties:
+    SCHEMA = {
+        "type": "object",
+        "patternProperties": {
+            "^stall\\.[a-z0-9-]+\\.waits$": {
+                "type": "object",
+                "required": ["kind", "value"],
+                "properties": {
+                    "kind": {"type": "string", "enum": ["counter"]},
+                    "value": {"type": "number", "minimum": 0},
+                },
+            },
+        },
+        "additionalProperties": False,
+    }
+
+    def test_matching_key_validated_against_pattern(self):
+        ok = {"stall.credit.waits": {"kind": "counter", "value": 3}}
+        assert validate(ok, self.SCHEMA) == []
+
+    def test_matching_key_with_bad_value_fails(self):
+        bad = {"stall.credit.waits": {"kind": "counter", "value": -1}}
+        errors = validate(bad, self.SCHEMA)
+        assert any("below minimum" in e for e in errors)
+
+    def test_matching_key_escapes_additional_properties(self):
+        # a matched key must not also be judged as "additional"
+        ok = {"stall.buffer-full.waits": {"kind": "counter", "value": 0}}
+        assert validate(ok, self.SCHEMA) == []
+
+    def test_unmatched_key_still_rejected(self):
+        bad = {"unrelated": {"kind": "counter", "value": 1}}
+        errors = validate(bad, self.SCHEMA)
+        assert any("unexpected property" in e for e in errors)
+
+
+class TestStallContract:
+    """The snapshot contract's stall.* metrics and stall-* spans."""
+
+    def _snapshot(self):
+        return {
+            "schema": "repro-telemetry/1",
+            "metrics": {
+                "stall.credit.waits": {"kind": "counter", "value": 12},
+                "stall.credit.seconds": {"kind": "gauge", "value": 0.004},
+                "stall.refill-queue.waits": {"kind": "counter", "value": 2},
+                "stall.refill-queue.seconds": {"kind": "gauge",
+                                               "value": 0.001},
+            },
+            "profile": {"events": 0, "components": {}},
+            "spans": {
+                "count": 14,
+                "by_name": {
+                    "message": {"count": 10, "total_seconds": 0.02},
+                    "realloc": {"count": 1, "total_seconds": 0.003},
+                    "stall-credit": {"count": 12, "total_seconds": 0.004},
+                    "pkt-flight": {"count": 1, "total_seconds": 0.0001},
+                },
+            },
+        }
+
+    def test_stall_metrics_and_spans_pass(self):
+        assert validate_snapshot(self._snapshot()) == []
+
+    def test_stall_waits_must_be_counter(self):
+        snap = self._snapshot()
+        snap["metrics"]["stall.credit.waits"]["kind"] = "gauge"
+        errors = validate_snapshot(snap)
+        assert any("stall.credit.waits" in e for e in errors)
+
+    def test_stall_seconds_must_be_nonnegative(self):
+        snap = self._snapshot()
+        snap["metrics"]["stall.credit.seconds"]["value"] = -0.5
+        errors = validate_snapshot(snap)
+        assert any("stall.credit.seconds" in e for e in errors)
+
+    def test_stall_span_negative_count_fails(self):
+        snap = self._snapshot()
+        snap["spans"]["by_name"]["stall-credit"]["count"] = -1
+        errors = validate_snapshot(snap)
+        assert any("stall-credit" in e for e in errors)
+
+    def test_message_span_requires_total_seconds(self):
+        snap = self._snapshot()
+        del snap["spans"]["by_name"]["message"]["total_seconds"]
+        errors = validate_snapshot(snap)
+        assert any("message" in e for e in errors)

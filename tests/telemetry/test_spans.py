@@ -133,3 +133,62 @@ class TestSummarize:
         assert summary["count"] == 3
         assert summary["by_name"]["stage"]["count"] == 3
         assert abs(summary["by_name"]["stage"]["total_seconds"] - 3.0) < 1e-9
+
+
+class TestTruncatedAudit:
+    """Satellite audit: a capped tracer must surface what it lost as
+    explicitly ``truncated`` spans, never as silent gaps or verdicts."""
+
+    def test_clipped_open_span_flagged(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        emitter.begin("stage", category="test")
+        clock.now = 4.0
+        tracer.record("tick", node=0)     # advances last-seen time
+        [span] = build_spans(tracer.records, truncated=True)
+        assert span.end == 4.0
+        assert span.args["truncated"] is True
+
+    def test_clipped_open_span_unflagged_when_not_truncated(self):
+        clock = _Clock()
+        tracer = Tracer(clock=clock)
+        emitter = SpanEmitter(tracer)
+        emitter.begin("stage", category="test")
+        [span] = build_spans(tracer.records, truncated=False)
+        assert "truncated" not in span.args
+
+    def test_unmatched_tx_becomes_open_flight_when_truncated(self):
+        records = [
+            _rec(0.0, "pkt-tx", node=0, dst=1, seq=7, job=1),
+            _rec(2.0, "pkt-tx", node=0, dst=1, seq=8, job=1),
+            _rec(3.0, "pkt-deliver", node=1, src=0, seq=8, job=1),
+        ]
+        spans = derive_packet_spans(records, truncated=True)
+        assert len(spans) == 2
+        closed = [s for s in spans if "truncated" not in s.args]
+        open_ = [s for s in spans if s.args.get("truncated")]
+        assert [s.args["seq"] for s in closed] == [8]
+        assert [s.args["seq"] for s in open_] == [7]
+        assert open_[0].end == 3.0       # clipped to last record time
+
+    def test_unmatched_tx_dropped_when_not_truncated(self):
+        records = [_rec(0.0, "pkt-tx", node=0, dst=1, seq=7, job=1)]
+        assert derive_packet_spans(records, truncated=False) == []
+
+    def test_unterminated_epoch_flagged_not_judged(self):
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2),
+        ]
+        [span] = derive_retransmit_spans(records, truncated=True)
+        assert span.args["truncated"] is True
+        assert span.args["recovered"] is False    # unknown, flagged as such
+
+    def test_terminated_epoch_never_flagged(self):
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2),
+            _rec(1.5, "pkt-deliver", node=1, src=0, seq=5, job=1),
+        ]
+        [span] = derive_retransmit_spans(records, truncated=True)
+        assert "truncated" not in span.args
+        assert span.args["recovered"] is True
