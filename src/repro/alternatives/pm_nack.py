@@ -20,6 +20,25 @@ Differences from FM embodied here:
 The ablation benchmarks compare (a) p2p bandwidth with the always-on ack
 traffic against credit-based FM and (b) flush latency against the halt
 broadcast protocol as the cluster grows.
+
+**Relation to** :mod:`repro.faults.strategies` **(deliberately separate).**
+The ``nack`` reliability strategy (:class:`~repro.faults.strategies.nack.
+NackSelective`) also sends NACK packets, but the two are different layers
+answering different questions and must not be merged:
+
+- *This module is a transport ablation*: it **replaces** FM's credit flow
+  control.  NACK here means "receive queue full, resend later" — it is
+  back-pressure, sent even on a perfect network, and flushing becomes
+  local ack-drain (the Section 5 claim under test).
+- *The strategy is a fault-tolerance layer*: it sits **on top of** the
+  credit-based FM transport, whose credits guarantee receive space.
+  NACK there means "a gap in the per-channel sequence — a packet the
+  network lost"; on a lossless link it never fires at all.
+
+``tests/faults/test_strategies.py`` pins the reconciliation: over a
+lossless link, PM and FM-plus-NackSelective deliver identical payload
+sequences — same messages, same per-pair order — while PM acks every
+packet and the strategy sends zero NACKs.
 """
 
 from __future__ import annotations

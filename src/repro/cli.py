@@ -13,6 +13,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+#: Mirror of ``repro.faults.strategies.STRATEGY_NAMES`` — inlined so
+#: building the parser stays import-free; a test pins the two in sync.
+STRATEGY_CHOICES = ("per-packet", "cumulative", "nack", "adaptive")
+
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quantum", type=float, default=None,
@@ -70,6 +74,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "results; exit non-zero otherwise")
     _add_common(pp)
     _add_telemetry(pp)
+
+    pfr = sub.add_parser(
+        "figure_reliability",
+        help="reliability strategy comparison: goodput vs drop rate")
+    pfr.add_argument("--strategies", nargs="+", default=None,
+                     choices=STRATEGY_CHOICES,
+                     help="strategy arms to sweep (default: all four)")
+    pfr.add_argument("--drops", type=float, nargs="+", default=None,
+                     help="packet drop rates (default: 0 0.02 0.05 0.1)")
+    pfr.add_argument("--rounds", type=int, default=None,
+                     help="all-to-all rounds per point (default: 20)")
+    pfr.add_argument("--seed", type=int, default=0)
+    pfr.add_argument("--out", metavar="BENCH.json", default=None,
+                     help="write the benchmark JSON document here")
+    pfr.add_argument("--smoke", action="store_true",
+                     help="CI preset: small sweep over every arm, then "
+                          "re-run on a 2-worker pool and require "
+                          "byte-identical results; exit non-zero otherwise")
+    _add_telemetry(pfr)
 
     for name, help_text in (("figure7", "switch stages, full copy"),
                             ("figure9", "switch stages, valid-only copy")):
@@ -169,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--requeue", action="store_true",
                     help="requeue jobs that lose a rank instead of killing "
                          "them (falls back to kill without capacity)")
+    pc.add_argument("--strategy", choices=STRATEGY_CHOICES,
+                    default="per-packet",
+                    help="ACK/NACK reliability strategy on every NIC "
+                         "(default: per-packet)")
     pc.add_argument("--no-audit", action="store_true",
                     help="inject faults without the invariant auditor")
     pc.add_argument("--smoke", action="store_true",
@@ -224,6 +251,7 @@ EXPERIMENTS = {
     "figure5": "Fig. 5  bandwidth vs size x contexts, static FM division",
     "figure6": "Fig. 6  total bandwidth vs size x jobs, buffer switching",
     "figure_policies": "buffer policy comparison: bandwidth vs competing jobs",
+    "figure_reliability": "reliability strategy comparison: goodput vs drop rate",
     "figure7": "Fig. 7  switch stage cycles vs nodes, full copy",
     "figure8": "Fig. 8  valid packets in buffers at switch time",
     "figure9": "Fig. 9  switch stage cycles vs nodes, valid-only copy",
@@ -353,6 +381,56 @@ def main(argv=None) -> int:
                                     (p.telemetry for p in points))
         return 0
 
+    if args.command == "figure_reliability":
+        import json
+
+        from repro.experiments.figure_reliability import (DEFAULT_DROPS,
+                                                          STRATEGY_ARMS,
+                                                          points_payload,
+                                                          run_figure_reliability)
+        from repro.experiments.report import render_reliability
+
+        strategies = (tuple(args.strategies) if args.strategies
+                      else STRATEGY_ARMS)
+        drops = tuple(args.drops) if args.drops else DEFAULT_DROPS
+        rounds = args.rounds if args.rounds else 20
+        if args.smoke:
+            # Every arm, a lossless anchor and a lossy cell, few rounds —
+            # then prove the process-pool fan-out is bit-identical.
+            drops = tuple(args.drops) if args.drops else (0.0, 0.05)
+            rounds = args.rounds if args.rounds else 6
+        points = run_figure_reliability(strategies=strategies, drops=drops,
+                                        rounds=rounds, root_seed=args.seed,
+                                        workers=args.workers,
+                                        telemetry=args.telemetry is not None)
+        print(render_reliability(points))
+        payload = json.dumps(points_payload(points), indent=2, sort_keys=True)
+        if args.smoke:
+            parallel = run_figure_reliability(
+                strategies=strategies, drops=drops, rounds=rounds,
+                root_seed=args.seed, workers=2,
+                telemetry=args.telemetry is not None)
+            parallel_payload = json.dumps(points_payload(parallel),
+                                          indent=2, sort_keys=True)
+            if parallel_payload != payload:
+                print("FAIL: -j2 sweep diverged from the serial run")
+                return 1
+            bad = [p for p in points if not p.audit_ok]
+            if bad:
+                print(f"FAIL: {len(bad)} points failed the invariant audit")
+                return 1
+            print("smoke: serial and -j2 sweeps bit-identical, audits "
+                  f"green ({len(points)} points)")
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(payload)
+                fh.write("\n")
+            print(f"benchmark JSON written to {args.out}")
+        if args.telemetry:
+            _write_merged_telemetry(args.telemetry,
+                                    (p.telemetry for p in points))
+        return 0
+
     if args.command in ("figure7", "figure9"):
         from repro.experiments.figure7 import run_figure7
         from repro.experiments.figure9 import run_figure9
@@ -465,6 +543,7 @@ def main(argv=None) -> int:
             stall=args.stall, crash=args.crash,
             failstops=args.failstop, rejoin=args.rejoin,
             requeue=args.requeue, audit=not args.no_audit,
+            strategy=args.strategy,
             telemetry=args.telemetry is not None,
         )
         if args.smoke and args.failstop:
@@ -476,6 +555,7 @@ def main(argv=None) -> int:
                 quantum=0.004, rounds=600, message_bytes=1024,
                 failstops=1, rejoin=True, requeue=True,
                 audit=not args.no_audit,
+                strategy=args.strategy,
                 telemetry=args.telemetry is not None,
             )
         elif args.smoke:
@@ -486,6 +566,7 @@ def main(argv=None) -> int:
                 drop=0.02, dup=0.01, corrupt=0.005, jitter=0.05,
                 sram=200.0, stall=0.05, crash=0.02,
                 audit=not args.no_audit,
+                strategy=args.strategy,
                 telemetry=args.telemetry is not None,
             )
         results = run_chaos_campaign(point, runs=args.runs,

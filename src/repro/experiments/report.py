@@ -11,6 +11,7 @@ from typing import Iterable, Sequence
 from repro.experiments.figure5 import Figure5Point
 from repro.experiments.figure6 import Figure6Point
 from repro.experiments.figure_policies import PolicyPoint
+from repro.experiments.figure_reliability import ReliabilityPoint
 from repro.experiments.figure7 import SwitchOverheadPoint
 from repro.experiments.figure8 import OccupancyPoint
 from repro.experiments.table_overhead import OverheadSummary
@@ -97,6 +98,37 @@ def render_policies(points: Sequence[PolicyPoint]) -> str:
                       + format_table(headers, rows))
     return ("Buffer policies - total bandwidth vs competing jobs\n"
             + "\n\n".join(blocks))
+
+
+def render_reliability(points: Sequence[ReliabilityPoint]) -> str:
+    """Goodput and recovery effort per strategy across the drop axis."""
+    drops = sorted({p.drop for p in points})
+    arms = []
+    for p in points:  # preserve sweep arm order
+        if p.strategy not in arms:
+            arms.append(p.strategy)
+    lookup = {(p.strategy, p.drop): p for p in points}
+    headers = (["strategy"] + [f"drop {d:g}" for d in drops]
+               + ["rexmit", "epochs", "nacks", "lost", "audit"])
+    rows = []
+    for arm in arms:
+        row = [arm]
+        rexmit = epochs = nacks = lost = 0
+        audits_ok = True
+        for d in drops:
+            p = lookup.get((arm, d))
+            row.append("-" if p is None else f"{p.goodput_mbps:.1f}")
+            if p is not None:
+                rexmit += p.retransmits
+                epochs += p.retransmit_epochs
+                nacks += p.nacks_sent
+                lost += p.permanent_losses
+                audits_ok &= p.audit_ok
+        row.extend([str(rexmit), str(epochs), str(nacks), str(lost),
+                    "ok" if audits_ok else "FAIL"])
+        rows.append(row)
+    return ("Reliability strategies - goodput [MB/s] vs drop rate\n"
+            + format_table(headers, rows))
 
 
 def render_switch_overheads(points: Sequence[SwitchOverheadPoint], figure: str) -> str:

@@ -22,6 +22,7 @@ from repro.experiments.common import point_seed, run_points
 from repro.faults.audit import InvariantAuditor
 from repro.faults.model import FailStop, FaultSpec
 from repro.faults.retransmit import RetransmitPolicy
+from repro.faults.strategies import DEFAULT_STRATEGY
 from repro.parpar.cluster import ClusterConfig, ParParCluster
 from repro.parpar.job import JobSpec, JobState
 from repro.sim.rand import RandomStreams
@@ -60,6 +61,11 @@ class ChaosPoint:
     #: instead of killing (falls back to kill when allocation fails).
     requeue: bool = False
     audit: bool = True
+    #: ACK/NACK strategy name (see ``repro.faults.strategies``).  The
+    #: default keeps the report byte-identical to the pre-strategy
+    #: layout; any other name adds ``"strategy"`` and NACK/strategy
+    #: counters to the report.
+    strategy: str = DEFAULT_STRATEGY
     #: post-completion drain time for ack timers and zombie retransmits
     settle: float = 0.2
     #: attach the unified telemetry layer; the report gains a
@@ -110,6 +116,7 @@ def run_chaos_point(point: ChaosPoint) -> dict:
         seed=point.seed,
         faults=faults,
         retransmit=RetransmitPolicy(),
+        reliability_strategy=point.strategy,
         telemetry=point.telemetry,
     )
     cluster = ParParCluster(config)
@@ -154,6 +161,17 @@ def run_chaos_point(point: ChaosPoint) -> dict:
         "sram_descriptor_hits": sum(g.firmware.nic.sram_faults
                                     for g in cluster.glue),
     }
+    if point.strategy != DEFAULT_STRATEGY:
+        # Strategy-specific keys only when a non-default strategy runs,
+        # so the default report stays byte-identical to the v1 layout.
+        reliability["nacks_sent"] = sum(fw.nacks_sent for fw in firmwares)
+        reliability["nacks_received"] = sum(fw.nacks_received
+                                            for fw in firmwares)
+        strategy_stats: dict = {}
+        for fw in firmwares:
+            for key, value in fw.strategy_stats().items():
+                strategy_stats[key] = strategy_stats.get(key, 0) + value
+        reliability["strategy_stats"] = strategy_stats
 
     failed_ids = set(cluster.masterd.failed_jobs)
     # Requeued jobs that finished as a fresh incarnation get the full
@@ -183,6 +201,8 @@ def run_chaos_point(point: ChaosPoint) -> dict:
         "events": cluster.sim.processed_events,
         "error": error,
     }
+    if point.strategy != DEFAULT_STRATEGY:
+        result["strategy"] = point.strategy
 
     if auditor is not None:
         excused = set()

@@ -1,0 +1,124 @@
+"""Adaptive retransmit controller: the timeout schedule tracks ack RTT.
+
+Per-packet acks as in :class:`PerPacketAck`, but the sender's timeout
+schedule is not a fixed ``timeout * backoff**k`` ladder: its *base* is a
+smoothed estimate of the observed ack round-trip time, in the spirit of
+delay-signal-driven adaptation (BShare steers buffer sharing from
+queueing delay; this controller steers the retransmit clock from ack
+delay).  The estimator is the classic deterministic EWMA pair
+
+    srtt   <- 7/8 srtt + 1/8 sample
+    rttvar <- 3/4 rttvar + 1/4 |srtt - sample|
+    base   =  srtt + 4 rttvar        (clamped to [floor, ceiling])
+
+with Karn's rule: only never-retransmitted packets contribute samples,
+so a retransmission ambiguity can never poison the estimate.  On top of
+the adaptive base the per-attempt exponential backoff still applies —
+congestion-style widening under repeated loss — and two hard rails keep
+the controller honest under chaos:
+
+- **floor/ceiling**: the schedule can never drop below ``policy.timeout
+  / floor_div`` (spurious-retransmit storms) nor exceed
+  ``policy.max_timeout`` (unbounded stalls);
+- **graceful degradation**: when the driver gives up on a packet the
+  peer *looks dead* — every later packet to that peer waits the full
+  ceiling instead of flapping through the whole ladder again, until an
+  ack from the peer proves it alive and restores the adaptive schedule.
+
+All state is plain floats updated by simulated-time arithmetic — no
+wall clock, no randomness — so runs stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.faults.strategies.per_packet import PerPacketAck
+
+
+class AdaptiveBackoff(PerPacketAck):
+    """RTT-tracking timeout schedule with dead-peer degradation."""
+
+    name = "adaptive"
+
+    def __init__(self, policy, floor_div: float = 4.0):
+        super().__init__(policy)
+        if floor_div < 1.0:
+            raise ConfigError(
+                f"floor_div must be >= 1 (the floor cannot exceed the "
+                f"configured base timeout), got {floor_div}")
+        self.floor = policy.timeout / floor_div
+        self.ceiling = policy.max_timeout
+        self.srtt: float = 0.0       # 0.0 = no samples yet
+        self.rttvar: float = 0.0
+        self.rtt_samples = 0
+        self._suspect: dict = {}     # peer -> True while it looks dead
+        self.degraded_sends = 0      # transmissions timed at the ceiling
+
+    # ------------------------------------------------------------ controller
+    def current_base(self) -> float:
+        """The adaptive base timeout (pre-backoff, clamped)."""
+        if self.rtt_samples == 0:
+            return self.policy.timeout
+        base = self.srtt + 4.0 * self.rttvar
+        if base < self.floor:
+            return self.floor
+        if base > self.ceiling:
+            return self.ceiling
+        return base
+
+    def _observe(self, sample: float) -> None:
+        if self.rtt_samples == 0:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            delta = self.srtt - sample
+            if delta < 0.0:
+                delta = -delta
+            self.rttvar = 0.75 * self.rttvar + 0.25 * delta
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rtt_samples += 1
+
+    # ------------------------------------------------------------- send side
+    def on_data_sent(self, entry) -> None:
+        driver = self.driver
+        peer = entry.packet.dst_node
+        seq = entry.packet.seq
+        if peer in self._suspect:
+            self.degraded_sends += 1
+            delay = self.ceiling
+        else:
+            delay = self.current_base() \
+                * self.policy.backoff ** (entry.attempts - 1)
+            if delay > self.ceiling:
+                delay = self.ceiling
+        driver.start_timer(("rto", seq), delay,
+                           name=f"rto-{driver.node_id}-s{seq}")
+
+    def on_ack_like_received(self, packet) -> None:
+        entry = self.driver.outstanding_entry(packet.ack_seq)
+        if entry is not None and entry.attempts == 1:
+            # Karn's rule: unambiguous samples only.
+            self._observe(self.driver.now() - entry.sent_at)
+        # Any ack proves the peer alive again.
+        self._suspect.pop(packet.src_node, None)
+        super().on_ack_like_received(packet)
+
+    # ------------------------------------------------------------ lifecycle
+    def on_peer_dead(self, peer: int) -> None:
+        self._suspect[peer] = True
+
+    def on_power_off(self) -> None:
+        self.srtt = 0.0
+        self.rttvar = 0.0
+        self.rtt_samples = 0
+        self._suspect.clear()
+
+    # ------------------------------------------------------------ reporting
+    def stats(self) -> dict:
+        return {
+            "rtt_samples": self.rtt_samples,
+            "srtt_ns": int(round(self.srtt * 1e9)),
+            "rttvar_ns": int(round(self.rttvar * 1e9)),
+            "degraded_sends": self.degraded_sends,
+            "suspected_peers": len(self._suspect),
+        }

@@ -1,0 +1,147 @@
+"""Cumulative acknowledgements: ack-every-N with a max-ack-delay timer.
+
+The receiver tracks, per directed channel, the highest *contiguous*
+``rel_seq`` delivered (the frontier) and acknowledges that frontier —
+one ACK covers a whole prefix, so the sender frees every outstanding
+entry with ``rel_seq <= ack_seq`` at once.  Acks are throttled: one is
+emitted after every ``ack_every_n`` deliveries, or when the
+``max_ack_delay`` timer fires with deliveries still unacknowledged,
+whichever comes first — the SmartAckNack idiom ("ACK every N frames or
+after a time interval") transplanted onto the FM credit transport.
+
+The sender side keeps the per-packet exponential-backoff safety timers:
+with acks delayed up to ``max_ack_delay``, the base timeout must exceed
+the delay or every packet would spuriously retransmit — the default
+schedule (2 ms base vs 0.5 ms max delay) leaves 4x headroom.
+
+Two protocol-safety details the strategy must handle itself (the driver
+cannot):
+
+- a **duplicate** usually means the original's ack was lost *or*
+  swallowed by throttling — re-emit the current frontier immediately so
+  the sender settles instead of retransmitting a third time;
+- a **gang switch** parks the context while acks may still be pending —
+  ``on_context_stored`` flushes them (acks are halt-exempt), so a stored
+  context never strands a sender at one-below-the-frontier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.faults.strategies.per_packet import PerPacketAck
+from repro.units import US
+
+
+class _ChannelRx:
+    """Receiver-side cumulative state for one (job, src_node) channel."""
+
+    __slots__ = ("frontier", "out_of_order", "pending", "armed")
+
+    def __init__(self):
+        self.frontier = -1          # highest contiguous rel_seq delivered
+        self.out_of_order = set()   # delivered rel_seqs above the frontier
+        self.pending = 0            # deliveries since the last ack went out
+        self.armed = False          # a max-ack-delay timer is running
+
+
+class CumulativeAck(PerPacketAck):
+    """Throttled prefix acks; sender frees channel prefixes."""
+
+    name = "cumulative"
+
+    def __init__(self, policy, ack_every_n: int = 4,
+                 max_ack_delay: float = 500 * US):
+        super().__init__(policy)
+        if ack_every_n < 1:
+            raise ConfigError(f"ack_every_n must be >= 1, got {ack_every_n}")
+        if max_ack_delay <= 0:
+            raise ConfigError(
+                f"max_ack_delay must be positive, got {max_ack_delay}")
+        if max_ack_delay >= policy.timeout:
+            raise ConfigError(
+                f"max_ack_delay ({max_ack_delay}) must stay below the "
+                f"retransmit timeout ({policy.timeout}) or every packet "
+                "would spuriously retransmit")
+        self.ack_every_n = ack_every_n
+        self.max_ack_delay = max_ack_delay
+        self._rx: dict = {}         # (job_id, src_node) -> _ChannelRx
+        self.cum_acks = 0           # frontier acks emitted (batch-triggered)
+        self.delayed_acks = 0       # frontier acks emitted by the timer
+
+    # ---------------------------------------------------------- receive side
+    def on_data_received(self, packet, duplicate: bool) -> None:
+        channel = (packet.job_id, packet.src_node)
+        state = self._rx.get(channel)
+        if duplicate:
+            # Lost or throttled ack: restate the frontier right away.
+            frontier = state.frontier if state is not None else -1
+            self._emit(channel, frontier)
+            return
+        if state is None:
+            state = self._rx[channel] = _ChannelRx()
+        rel = packet.rel_seq
+        if rel == state.frontier + 1:
+            state.frontier = rel
+            oo = state.out_of_order
+            while state.frontier + 1 in oo:
+                state.frontier += 1
+                oo.discard(state.frontier)
+        else:
+            state.out_of_order.add(rel)
+        state.pending += 1
+        if state.pending >= self.ack_every_n:
+            self.cum_acks += 1
+            self._emit(channel, state.frontier)
+            state.pending = 0
+        elif not state.armed:
+            state.armed = True
+            self.driver.start_timer(
+                ("cum",) + channel, self.max_ack_delay,
+                name=f"cumack-{self.driver.node_id}-j{channel[0]}")
+
+    def on_timer(self, tag) -> None:
+        if tag[0] != "cum":
+            super().on_timer(tag)   # the sender-side retransmit timers
+            return
+        channel = tag[1:]
+        state = self._rx.get(channel)
+        if state is None:
+            return
+        state.armed = False
+        if state.pending:
+            self.delayed_acks += 1
+            self._emit(channel, state.frontier)
+            state.pending = 0
+
+    def _emit(self, channel, frontier: int) -> None:
+        job_id, src_node = channel
+        self.driver.emit_ack(src_node, job_id, frontier)
+
+    # ------------------------------------------------------------- send side
+    def on_ack_like_received(self, packet) -> None:
+        # ack_seq is a rel_seq frontier: free the whole channel prefix.
+        self.driver.release_through(packet.job_id, packet.src_node,
+                                    packet.ack_seq)
+
+    # ------------------------------------------------------------ lifecycle
+    def on_context_stored(self, job_id: int) -> None:
+        self._flush_job(job_id)
+
+    def on_job_forgotten(self, job_id: int) -> None:
+        for channel in [c for c in self._rx if c[0] == job_id]:
+            self.driver.cancel_timer(("cum",) + channel)
+            del self._rx[channel]
+
+    def on_power_off(self) -> None:
+        self._rx.clear()
+
+    def _flush_job(self, job_id: int) -> None:
+        for channel, state in self._rx.items():
+            if channel[0] == job_id and state.pending:
+                self.delayed_acks += 1
+                self._emit(channel, state.frontier)
+                state.pending = 0
+
+    # ------------------------------------------------------------ reporting
+    def stats(self) -> dict:
+        return {"cum_acks": self.cum_acks, "delayed_acks": self.delayed_acks}

@@ -1,0 +1,121 @@
+"""Selective retransmit: receiver NACKs rel_seq gaps, with debounce.
+
+Built on the cumulative-ack machinery (the sender still needs prefix
+acks to free buffers — a pure-NACK scheme never frees anything on a
+clean link), this strategy adds *negative* acknowledgements: when a
+delivery lands above the channel frontier, every missing ``rel_seq`` in
+the gap is NACKed, and the sender retransmits exactly the named entries
+immediately instead of waiting out a timeout.  A debounce interval
+keeps a burst of out-of-order deliveries from NACKing the same gap once
+per packet — the BasicAckNack/SmartAckNack "NACK with debounce" idiom.
+
+Because a *tail* loss (the last packet of a burst, with nothing after
+it to expose the gap) produces no NACK, the sender keeps safety timers
+— stretched by ``stall_factor`` over the base schedule, so on a lossy
+link recovery is almost always NACK-driven (fast) and the timers fire
+only for tail losses and lost NACKs (slow but safe).  Ack throttling is
+inherited: ``ack_every_n`` defaults higher than CumulativeAck's since
+NACKs carry the urgent signal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.faults.strategies.cumulative import CumulativeAck
+from repro.units import US
+
+
+class NackSelective(CumulativeAck):
+    """NACK-driven selective retransmit over throttled cumulative acks."""
+
+    name = "nack"
+
+    def __init__(self, policy, ack_every_n: int = 8,
+                 max_ack_delay: float = 1000 * US,
+                 nack_debounce: float = 300 * US,
+                 stall_factor: float = 8.0):
+        super().__init__(policy, ack_every_n=ack_every_n,
+                         max_ack_delay=max_ack_delay)
+        if nack_debounce < 0:
+            raise ConfigError(
+                f"nack_debounce must be >= 0, got {nack_debounce}")
+        if stall_factor < 1.0:
+            raise ConfigError(
+                f"stall_factor must be >= 1 (the safety timers back off, "
+                f"never lead), got {stall_factor}")
+        self.nack_debounce = nack_debounce
+        self.stall_factor = stall_factor
+        #: (job, src_node) -> {missing rel_seq -> last nack time}
+        self._nacked: dict = {}
+        self.nacks_emitted = 0
+        self.nack_retransmits = 0
+
+    # ---------------------------------------------------------- receive side
+    def on_data_received(self, packet, duplicate: bool) -> None:
+        super().on_data_received(packet, duplicate)
+        if duplicate:
+            return
+        channel = (packet.job_id, packet.src_node)
+        state = self._rx[channel]
+        history = self._nacked.get(channel)
+        if state.frontier >= packet.rel_seq and history:
+            # The gap (or part of it) closed; drop settled bookkeeping.
+            for rel in [r for r in history if r <= state.frontier]:
+                del history[rel]
+        if not state.out_of_order:
+            return
+        # Gap detected: NACK every missing rel_seq between the frontier
+        # and the highest delivery, debounced per entry.
+        now = self.driver.now()
+        if history is None:
+            history = self._nacked[channel] = {}
+        top = max(state.out_of_order)
+        for rel in range(state.frontier + 1, top):
+            if rel in state.out_of_order:
+                continue
+            last = history.get(rel)
+            if last is not None and now - last < self.nack_debounce:
+                continue
+            history[rel] = now
+            self.nacks_emitted += 1
+            self.driver.emit_nack(packet.src_node, packet.job_id, rel)
+
+    # ------------------------------------------------------------- send side
+    def on_ack_like_received(self, packet) -> None:
+        from repro.fm.packet import PacketType
+
+        if packet.ptype is PacketType.NACK:
+            seq = self.driver.seq_for(packet.job_id, packet.src_node,
+                                      packet.ack_seq)
+            if seq is not None:
+                self.nack_retransmits += 1
+                self.driver.request_retransmit(seq)
+            return
+        super().on_ack_like_received(packet)
+
+    def on_data_sent(self, entry) -> None:
+        # Stretched safety schedule: NACKs do the fast recovery, the
+        # timer only catches tail losses and lost NACKs.
+        seq = entry.packet.seq
+        driver = self.driver
+        delay = min(self.policy.timeout_for(entry.attempts)
+                    * self.stall_factor, self.policy.max_timeout)
+        driver.start_timer(("rto", seq), delay,
+                           name=f"rto-{driver.node_id}-s{seq}")
+
+    # ------------------------------------------------------------ lifecycle
+    def on_job_forgotten(self, job_id: int) -> None:
+        super().on_job_forgotten(job_id)
+        for channel in [c for c in self._nacked if c[0] == job_id]:
+            del self._nacked[channel]
+
+    def on_power_off(self) -> None:
+        super().on_power_off()
+        self._nacked.clear()
+
+    # ------------------------------------------------------------ reporting
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["nacks_emitted"] = self.nacks_emitted
+        stats["nack_retransmits"] = self.nack_retransmits
+        return stats

@@ -1,0 +1,56 @@
+"""Per-packet positive acks with exponential backoff — the regression anchor.
+
+A bit-identical re-implementation, on the strategy interface, of the
+behaviour :class:`~repro.faults.retransmit.ReliableFirmware` hardwired
+before the strategies existed: the receiver acks every accepted DATA
+packet by its global ``seq`` (re-acking duplicates so a lost ack settles
+the sender), and the sender arms one timer per transmission on the
+``timeout * backoff**(attempt-1)`` schedule, retransmitting until
+``max_retries`` and then declaring the packet permanently lost.
+
+Every event this strategy schedules — timer processes, their names, the
+ack packets, the trace records — matches the pre-strategy layer exactly,
+which is what lets ``tests/faults/test_chaos_golden.py`` pin whole chaos
+campaigns against pre-refactor output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.faults.strategies.base import ReliabilityStrategy
+
+
+class PerPacketAck(ReliabilityStrategy):
+    """ACK every packet; retransmit on exponential-backoff timeout."""
+
+    name = "per-packet"
+
+    # ------------------------------------------------------------- send side
+    def on_data_sent(self, entry) -> None:
+        seq = entry.packet.seq
+        driver = self.driver
+        driver.start_timer(
+            ("rto", seq), self.policy.timeout_for(entry.attempts),
+            name=f"rto-{driver.node_id}-s{seq}")
+
+    def on_ack_like_received(self, packet) -> None:
+        # Duplicated or stale acks are no-ops, not protocol errors; NACKs
+        # are never emitted by this strategy, so an arriving one (from a
+        # mixed-strategy misconfiguration) is ignored the same way.
+        self.driver.release(packet.ack_seq)
+
+    def on_timer(self, tag) -> None:
+        _, seq = tag
+        driver = self.driver
+        entry = driver.outstanding_entry(seq)
+        if entry is None:
+            return  # acked while the timer was in flight
+        if entry.attempts >= self.policy.max_retries:
+            driver.request_give_up(seq)
+        else:
+            driver.request_retransmit(seq)
+
+    # ---------------------------------------------------------- receive side
+    def on_data_received(self, packet, duplicate: bool) -> None:
+        # Same ack for fresh deliveries and duplicates: the dup case is
+        # precisely the lost-ack recovery path.
+        self.driver.emit_ack(packet.src_node, packet.job_id, packet.seq)

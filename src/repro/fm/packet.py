@@ -55,6 +55,12 @@ class Packet:
     piggyback_refill: int = 0
     refill_credits: int = 0          # explicit refill amount (REFILL only)
     ack_seq: int = -1                # seq being (n)acked (ACK/NACK only)
+    #: Contiguous per-channel (job, src->dst) sequence number, stamped by
+    #: the reliability driver at first transmission; retransmit clones
+    #: keep the original's.  Cumulative-ack and NACK strategies reason
+    #: about prefixes/gaps in this space (the global ``seq`` counter is
+    #: interleaved across channels and therefore gap-free nowhere).
+    rel_seq: int = -1
     tag: int = 0                     # application message tag (MPI layer)
     payload_obj: object = None       # opaque app payload (last fragment)
     #: Set by the fault-injection layer (link bit errors, NIC SRAM

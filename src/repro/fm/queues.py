@@ -158,6 +158,29 @@ class PacketQueue:
                 waiters.popleft().succeed()
         return packet
 
+    def purge(self, predicate) -> int:
+        """Remove every queued packet matching ``predicate``; returns the
+        count removed.
+
+        Teardown-path only (the reliability driver strips zombie
+        retransmit clones from a finished job's frozen queues): nothing
+        here models NIC time, so calling it from a live data path would
+        teleport packets out of the simulation.  Removed packets count as
+        removed (not silently unappended) so occupancy bookkeeping stays
+        conserved, and space waiters are released like any dequeue.
+        """
+        items = self._items
+        kept = [p for p in items if not predicate(p)]
+        purged = len(items) - len(kept)
+        if purged:
+            items.clear()
+            items.extend(kept)
+            self.total_removed += purged
+            waiters = self._space_waiters
+            while waiters and len(items) < self.capacity:
+                waiters.popleft().succeed()
+        return purged
+
     def get(self) -> Event:
         """Blocking dequeue: event succeeds with the next packet.
 

@@ -27,6 +27,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultSpec
 from repro.faults.retransmit import ReliableFirmware, RetransmitPolicy
+from repro.faults.strategies import DEFAULT_STRATEGY, STRATEGY_NAMES
 from repro.fm.buffers import BufferPolicy, FullBuffer, StaticPartition
 from repro.fm.config import FMConfig
 from repro.gluefm.api import GlueFM
@@ -80,6 +81,11 @@ class ClusterConfig:
     #: Ack/retransmit schedule; set (or defaulted by ``faults``) to load
     #: :class:`~repro.faults.retransmit.ReliableFirmware` on every NIC.
     retransmit: Optional[RetransmitPolicy] = None
+    #: ACK/NACK strategy name (see ``repro.faults.strategies``).  Empty
+    #: string defers to ``fm.reliability_strategy``, then the default
+    #: (``per-packet``).  Only takes effect when the reliability
+    #: firmware is loaded.
+    reliability_strategy: str = ""
     #: Failure detection / eviction / reintegration knobs.  Defaulted
     #: automatically whenever ``faults`` schedules a fail-stop — a node
     #: death without recovery would simply wedge the cluster.
@@ -127,6 +133,17 @@ class ClusterConfig:
                 f"buffer_switching=True (reallocation happens inside the "
                 f"flushed switch window)")
         return resolved
+
+    def resolved_strategy(self) -> str:
+        """Reliability strategy resolution: cluster > fm > default name."""
+        name = self.reliability_strategy or self.resolved_fm().reliability_strategy
+        if not name:
+            return DEFAULT_STRATEGY
+        if name not in STRATEGY_NAMES:
+            raise ConfigError(
+                f"unknown reliability strategy {name!r}; "
+                f"choose from {', '.join(STRATEGY_NAMES)}")
+        return name
 
     def resolved_switch(self) -> SwitchAlgorithm:
         return (self.switch_algorithm if self.switch_algorithm is not None
@@ -195,7 +212,8 @@ class ParParCluster:
             if config.faults.link_faults:
                 self.fabric.fault_injector = self.fault_injector
         firmware_class = ReliableFirmware if retransmit is not None else None
-        firmware_kwargs = ({"retransmit": retransmit}
+        firmware_kwargs = ({"retransmit": retransmit,
+                            "strategy": config.resolved_strategy()}
                            if retransmit is not None else None)
 
         self.recovery = config.resolved_recovery()

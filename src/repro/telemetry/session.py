@@ -143,6 +143,22 @@ def harvest_firmwares(registry: MetricsRegistry, firmwares) -> None:
             registry.gauge("reliability.outstanding_unacked").add(
                 fw.outstanding)
             registry.gauge("reliability.parked").add(fw.parked_count())
+            _harvest_strategy(registry, fw)
+
+
+def _harvest_strategy(registry: MetricsRegistry, fw) -> None:
+    """NACK and strategy-specific counters — only for non-default
+    strategies, so the default (per-packet) snapshot stays byte-identical
+    to the pre-strategy contract."""
+    from repro.faults.strategies import DEFAULT_STRATEGY
+    strategy = getattr(fw, "strategy", None)
+    if strategy is None or strategy.name == DEFAULT_STRATEGY:
+        return
+    registry.counter("reliability.nacks_sent").inc(fw.nacks_sent)
+    registry.counter("reliability.nacks_received").inc(fw.nacks_received)
+    for key, value in strategy.stats().items():
+        # Gauges so merged sweeps sum across points, like stall.*.seconds.
+        registry.gauge(f"reliability.strategy.{key}").add(value)
 
 
 def harvest_fabric(registry: MetricsRegistry, fabric) -> None:

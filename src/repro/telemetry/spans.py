@@ -188,11 +188,18 @@ def derive_retransmit_spans(records: Iterable[TraceRecord],
     (neither delivery nor give-up reached the trace before the cap) is
     flagged ``truncated=True`` — its ``recovered=False`` is unknown, not
     a verdict.
+
+    Records from a non-default reliability strategy carry a ``strategy``
+    field; their epochs are named ``retransmit-epoch-<strategy>`` (and
+    tagged in args) so strategy sweeps separate in the span summary.
+    Default-strategy records carry no tag and keep the plain name — the
+    pre-strategy snapshot contract is unchanged.
     """
     first_rto: dict = {}
     last_seen: dict = {}
     retries: dict = {}
     recovered: dict = {}
+    strategy_of: dict = {}
     for rec in records:
         kind = rec.kind
         seq = rec.fields.get("seq")
@@ -202,6 +209,9 @@ def derive_retransmit_spans(records: Iterable[TraceRecord],
             first_rto.setdefault(seq, rec.time)
             last_seen[seq] = rec.time
             retries[seq] = retries.get(seq, 0) + 1
+            tag = rec.fields.get("strategy")
+            if tag is not None:
+                strategy_of.setdefault(seq, tag)
         elif kind == "rto-give-up":
             last_seen[seq] = rec.time
             recovered.setdefault(seq, False)
@@ -214,8 +224,13 @@ def derive_retransmit_spans(records: Iterable[TraceRecord],
                 "recovered": recovered.get(seq, False)}
         if truncated and seq not in recovered:
             args["truncated"] = True
+        strategy = strategy_of.get(seq)
+        name = "retransmit-epoch"
+        if strategy is not None:
+            name = f"retransmit-epoch-{strategy}"
+            args["strategy"] = strategy
         spans.append(Span(
-            span_id=next_id, parent_id=None, name="retransmit-epoch",
+            span_id=next_id, parent_id=None, name=name,
             category="reliability", start=first_rto[seq],
             end=last_seen[seq], args=args,
         ))

@@ -1,0 +1,65 @@
+"""The reliability-strategy sweep: shape, audits, and fan-out identity."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.figure_reliability import (DEFAULT_DROPS,
+                                                  STRATEGY_ARMS,
+                                                  points_payload,
+                                                  run_figure_reliability)
+
+# One cheap cell per interesting corner: the regression anchor on a
+# clean link, the most machinery-heavy strategy on a lossy one.
+ARMS = ("per-packet", "nack")
+DROPS = (0.0, 0.05)
+
+
+class TestSweep:
+    def _points(self, workers=1):
+        return run_figure_reliability(strategies=ARMS, drops=DROPS,
+                                      rounds=4, workers=workers)
+
+    def test_point_shape_and_audits(self):
+        points = self._points()
+        assert [(p.strategy, p.drop) for p in points] == [
+            (s, d) for s in ARMS for d in DROPS]
+        for p in points:
+            assert p.audit_ok, (p.strategy, p.drop)
+            assert p.goodput_mbps > 0
+            assert p.permanent_losses == 0
+        clean = {p.strategy: p for p in points if p.drop == 0.0}
+        lossy = {p.strategy: p for p in points if p.drop > 0.0}
+        for s in ARMS:
+            assert clean[s].retransmits == 0
+            assert clean[s].retransmit_epochs == 0
+            assert lossy[s].retransmits > 0
+            # Not every epoch "recovers": a dropped ACK triggers a
+            # spurious retransmit of data that already arrived, and that
+            # epoch never sees a post-retransmit delivery.
+            assert lossy[s].retransmit_epochs >= lossy[s].epochs_recovered >= 1
+        assert lossy["nack"].nacks_sent > 0
+        assert clean["nack"].nacks_sent == 0      # lossless: NACKs idle
+
+    def test_serial_matches_fanout_bit_identical(self):
+        serial = points_payload(self._points(workers=1))
+        fanned = points_payload(self._points(workers=2))
+        assert json.dumps(serial, sort_keys=True) \
+            == json.dumps(fanned, sort_keys=True)
+
+    def test_payload_schema(self):
+        payload = points_payload(self._points())
+        assert payload["schema"] == "repro-bench-reliability/1"
+        keys = set(payload["points"][0])
+        assert {"strategy", "drop", "goodput_mbps", "retransmits",
+                "retransmit_epochs", "audit_ok"} <= keys
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown reliability strategy"):
+            run_figure_reliability(strategies=("bogus",), drops=(0.0,))
+
+    def test_default_arms_cover_the_registry(self):
+        from repro.faults.strategies import STRATEGY_NAMES
+        assert STRATEGY_ARMS == STRATEGY_NAMES
+        assert len(DEFAULT_DROPS) >= 3

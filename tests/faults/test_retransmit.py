@@ -88,6 +88,27 @@ class TestPolicy:
         assert p.timeout_for(4) == 5e-3  # capped
         assert p.timeout_for(9) == 5e-3
 
+    def test_default_schedule_units(self):
+        """Regression pin for the max_timeout unit bug: the default cap
+        is 50 *milliseconds* (0.05 s), not 50 microseconds — a cap below
+        the base timeout silently collapsed the whole backoff ladder."""
+        p = RetransmitPolicy()
+        assert p.timeout == 2e-3
+        assert p.max_timeout == 0.05
+        assert p.max_timeout > p.timeout
+        # exact doubling until the cap, then pinned at exactly 0.05
+        assert [p.timeout_for(k) for k in range(1, 8)] == [
+            0.002, 0.004, 0.008, 0.016, 0.032, 0.05, 0.05]
+
+    def test_cap_below_base_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="check the units"):
+            RetransmitPolicy(timeout=2e-3, max_timeout=50e-6)
+        with pytest.raises(ConfigError, match="timeout must be positive"):
+            RetransmitPolicy(timeout=0.0)
+        with pytest.raises(ConfigError, match="max_retries"):
+            RetransmitPolicy(max_retries=0)
+
 
 class TestRecovery:
     def test_clean_path_no_retransmits(self, sim):

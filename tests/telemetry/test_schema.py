@@ -251,3 +251,102 @@ class TestStallContract:
         del snap["spans"]["by_name"]["message"]["total_seconds"]
         errors = validate_snapshot(snap)
         assert any("message" in e for e in errors)
+
+
+class TestReliabilityContract:
+    """The reliability layer's metrics and strategy-tagged retransmit
+    epochs have *pattern* entries in the snapshot schema: a harvested
+    nack-strategy snapshot must validate against them, and kind
+    mismatches must be caught — not absorbed by additionalProperties."""
+
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("reliability.retransmits").inc(4)
+        reg.counter("reliability.acks_sent").inc(40)
+        reg.counter("reliability.nacks_sent").inc(3)
+        reg.counter("reliability.nacks_received").inc(3)
+        reg.gauge("reliability.outstanding_unacked").add(0)
+        reg.gauge("reliability.parked").add(0)
+        reg.gauge("reliability.strategy.nacks_emitted").add(3)
+        reg.gauge("reliability.strategy.nack_retransmits").add(3)
+        reg.gauge("reliability.strategy.cum_acks").add(9)
+        return {
+            "schema": "repro-telemetry/1",
+            "metrics": reg.snapshot(),
+            "profile": {"events": 0, "components": {}},
+            "spans": {
+                "count": 3,
+                "by_name": {
+                    "retransmit-epoch": {"count": 1, "total_seconds": 0.01},
+                    "retransmit-epoch-nack": {"count": 2,
+                                              "total_seconds": 0.02},
+                },
+            },
+        }
+
+    def test_reliability_snapshot_passes(self):
+        assert validate_snapshot(self._snapshot()) == []
+
+    def test_protocol_counter_with_wrong_kind_fails(self):
+        snap = self._snapshot()
+        snap["metrics"]["reliability.nacks_sent"]["kind"] = "gauge"
+        errors = validate_snapshot(snap)
+        assert any("reliability.nacks_sent" in e for e in errors)
+
+    def test_strategy_stat_must_be_a_gauge(self):
+        snap = self._snapshot()
+        snap["metrics"]["reliability.strategy.cum_acks"]["kind"] = "counter"
+        errors = validate_snapshot(snap)
+        assert any("reliability.strategy.cum_acks" in e for e in errors)
+
+    def test_negative_nack_count_fails(self):
+        snap = self._snapshot()
+        snap["metrics"]["reliability.nacks_sent"]["value"] = -3
+        assert validate_snapshot(snap)
+
+    def test_tagged_epoch_span_requires_total_seconds(self):
+        snap = self._snapshot()
+        del snap["spans"]["by_name"]["retransmit-epoch-nack"]["total_seconds"]
+        errors = validate_snapshot(snap)
+        assert any("retransmit-epoch-nack" in e for e in errors)
+
+    def test_harvested_nack_firmwares_validate(self):
+        """End-to-end: _harvest_strategy output lands inside the pattern
+        entries, and the default strategy harvests nothing at all."""
+        from repro.telemetry.session import harvest_firmwares
+
+        class _Strat:
+            name = "nack"
+
+            def stats(self):
+                return {"nacks_emitted": 2, "nack_retransmits": 1}
+
+        class _FW:
+            strategy = _Strat()
+            packets_sent = 20
+            packets_received = 20
+            dropped_packets = ()
+            retransmits = 2
+            acks_sent = 10
+            acks_received = 10
+            nacks_sent = 2
+            nacks_received = 2
+            dup_discards = 0
+            corrupt_discards = 0
+            permanent_losses = 0
+            outstanding = 0
+
+            def parked_count(self):
+                return 0
+
+        reg = MetricsRegistry()
+        harvest_firmwares(reg, [_FW()])
+        snap = {
+            "schema": "repro-telemetry/1",
+            "metrics": reg.snapshot(),
+            "profile": {"events": 0, "components": {}},
+            "spans": {"count": 0, "by_name": {}},
+        }
+        assert "reliability.nacks_sent" in snap["metrics"]
+        assert "reliability.strategy.nacks_emitted" in snap["metrics"]
+        assert validate_snapshot(snap) == []

@@ -119,6 +119,42 @@ class TestDerivedSpans:
         [span] = derive_retransmit_spans(records)
         assert span.args["recovered"] is False
 
+    def test_strategy_tag_renames_epoch(self):
+        """rto-retransmit records from a non-default strategy carry a
+        ``strategy`` field; the epoch picks up the tag in name and args
+        so strategy sweeps separate in the span summary."""
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2,
+                 strategy="nack"),
+            _rec(1.5, "pkt-deliver", node=1, src=0, seq=5, job=1),
+        ]
+        [span] = derive_retransmit_spans(records)
+        assert span.name == "retransmit-epoch-nack"
+        assert span.args["strategy"] == "nack"
+        assert span.args["recovered"] is True
+
+    def test_untagged_epoch_keeps_plain_name(self):
+        """The default strategy's records carry no tag — the epoch name
+        stays exactly ``retransmit-epoch`` (the frozen v1 contract)."""
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2),
+            _rec(1.5, "pkt-deliver", node=1, src=0, seq=5, job=1),
+        ]
+        [span] = derive_retransmit_spans(records)
+        assert span.name == "retransmit-epoch"
+        assert "strategy" not in span.args
+
+    def test_mixed_tagged_and_untagged_epochs(self):
+        records = [
+            _rec(1.0, "rto-retransmit", node=0, seq=5, job=1, attempt=2,
+                 strategy="adaptive"),
+            _rec(1.2, "rto-retransmit", node=2, seq=9, job=2, attempt=2),
+            _rec(1.5, "pkt-deliver", node=1, src=0, seq=5, job=1),
+            _rec(1.6, "pkt-deliver", node=3, src=2, seq=9, job=2),
+        ]
+        names = sorted(s.name for s in derive_retransmit_spans(records))
+        assert names == ["retransmit-epoch", "retransmit-epoch-adaptive"]
+
 
 class TestSummarize:
     def test_aggregates_by_name(self):
