@@ -2,8 +2,12 @@
 
 Two tools live here:
 
-- the **static analyser** (:mod:`~repro.analysis.simlint.core` engine +
-  :mod:`~repro.analysis.simlint.rules` SIM001–SIM010), run via
+- the **static analyser** — the :mod:`~repro.analysis.simlint.core`
+  engine, the per-file rules SIM001–SIM010
+  (:mod:`~repro.analysis.simlint.rules`) and the whole-program rules
+  SIM011–SIM014 (:mod:`~repro.analysis.simlint.interproc`, backed by
+  the :mod:`~repro.analysis.simlint.project` call-graph index and the
+  :mod:`~repro.analysis.simlint.cfg` path walker), run via
   ``python -m repro lint``;
 - the **dynamic buffer-ownership race detector**
   (:mod:`~repro.analysis.simlint.racecheck`), run via
@@ -13,6 +17,10 @@ See ``RULES.md`` in this package for the rule catalogue and
 EXPERIMENTS.md for workflow documentation.
 """
 
+from repro.analysis.simlint.cache import (  # noqa: F401
+    DEFAULT_CACHE_NAME,
+    LintCache,
+)
 from repro.analysis.simlint.core import (  # noqa: F401
     Finding,
     LintResult,
@@ -21,6 +29,12 @@ from repro.analysis.simlint.core import (  # noqa: F401
     all_rules,
     lint_module,
     lint_paths,
+    project_fingerprint,
+    rules_inventory_hash,
+)
+from repro.analysis.simlint.project import (  # noqa: F401
+    ProjectIndex,
+    module_name_for,
 )
 from repro.analysis.simlint.report import (  # noqa: F401
     diff_against_baseline,
@@ -29,9 +43,12 @@ from repro.analysis.simlint.report import (  # noqa: F401
     render_json,
     render_text,
 )
+from repro.analysis.simlint.sarif import render_sarif  # noqa: F401
 
 __all__ = [
-    "Finding", "LintResult", "ModuleUnderLint", "Rule", "all_rules",
-    "lint_module", "lint_paths", "diff_against_baseline", "load_baseline",
-    "render_baseline", "render_json", "render_text",
+    "DEFAULT_CACHE_NAME", "Finding", "LintCache", "LintResult",
+    "ModuleUnderLint", "ProjectIndex", "Rule", "all_rules", "lint_module",
+    "lint_paths", "module_name_for", "project_fingerprint",
+    "rules_inventory_hash", "diff_against_baseline", "load_baseline",
+    "render_baseline", "render_json", "render_sarif", "render_text",
 ]

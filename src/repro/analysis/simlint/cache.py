@@ -1,0 +1,146 @@
+"""Cross-run result cache for the lint driver.
+
+One JSON file (default ``.simlint_cache.json`` at the repo root) maps
+each linted file to its findings, keyed so stale reuse is impossible:
+
+- **module-scope** results are valid while the file's content sha and
+  the rule-inventory hash both match — editing any *other* file cannot
+  change them;
+- **project-scope** results additionally carry the whole-tree
+  fingerprint (every file's sha + the rules hash): a helper edited in
+  one module can change taint for call sites in another, so any edit
+  anywhere invalidates every project-scope entry while the module-scope
+  ones survive;
+- changing the rule inventory (add/remove/re-scope/re-severity) changes
+  the inventory hash and drops the entire cache in one shot.
+
+Findings round-trip through :meth:`Finding.to_dict`; the cache stores
+*unsuppressed* findings exactly as the driver would emit them, so a
+full-tree warm hit needs no parsing at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.simlint.core import Finding
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".simlint_cache.json"
+
+
+class LintCache:
+    """Findings keyed by (file sha, rules hash[, tree fingerprint])."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.dirty = False
+        self._rules_hash: Optional[str] = None
+        self._files: dict = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) \
+                or data.get("version") != CACHE_VERSION:
+            return
+        self._rules_hash = data.get("rules_hash")
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    # ------------------------------------------------------------- lookups
+    def _entry(self, rel: str, sha: str, rules_hash: str):
+        if rules_hash != self._rules_hash:
+            return None
+        entry = self._files.get(rel)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        return entry
+
+    def lookup_full(self, path, rel: str, sha: str, rules_hash: str,
+                    fingerprint: str):
+        """``(error, local, project)`` if *everything* for this file is
+        current — used by the all-hit fast path — else None."""
+        entry = self._entry(rel, sha, rules_hash)
+        if entry is None:
+            return None
+        if entry.get("error") is not None:
+            return (entry["error"], [], [])
+        if entry.get("fingerprint") != fingerprint:
+            return None
+        return (None, _revive(entry.get("local", [])),
+                _revive(entry.get("project", [])))
+
+    def lookup_local(self, path, rel: str, sha: str, rules_hash: str):
+        entry = self._entry(rel, sha, rules_hash)
+        if entry is None or entry.get("error") is not None:
+            return None
+        return _revive(entry.get("local", []))
+
+    def lookup_project(self, path, rel: str, sha: str, fingerprint: str):
+        entry = self._files.get(rel)
+        if entry is None or entry.get("sha") != sha \
+                or entry.get("error") is not None \
+                or entry.get("fingerprint") != fingerprint:
+            return None
+        return _revive(entry.get("project", []))
+
+    # -------------------------------------------------------------- stores
+    def _reset_for(self, rules_hash: str) -> None:
+        if rules_hash != self._rules_hash:
+            self._rules_hash = rules_hash
+            self._files = {}
+            self.dirty = True
+
+    def store(self, path, rel: str, sha: str, rules_hash: str,
+              fingerprint: str, local, project) -> None:
+        self._reset_for(rules_hash)
+        self._files[rel] = {
+            "sha": sha,
+            "error": None,
+            "fingerprint": fingerprint,
+            "local": [f.to_dict() for f in local],
+            "project": [f.to_dict() for f in project],
+        }
+        self.dirty = True
+
+    def store_error(self, path, rel: str, sha: str, rules_hash: str,
+                    message: str) -> None:
+        self._reset_for(rules_hash)
+        self._files[rel] = {"sha": sha, "error": message}
+        self.dirty = True
+
+    # ----------------------------------------------------------- lifecycle
+    def save(self) -> None:
+        """Atomic write; a torn cache file must never be readable."""
+        if not self.dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "rules_hash": self._rules_hash,
+            "files": self._files,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.path)
+        self.dirty = False
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+
+def _revive(dicts) -> list:
+    out = []
+    for d in dicts:
+        out.append(Finding(path=d["path"], line=d["line"], col=d["col"],
+                           rule=d["rule"], severity=d["severity"],
+                           message=d["message"],
+                           end_line=d.get("end_line", 0)))
+    return out

@@ -1,0 +1,329 @@
+"""A lightweight per-function path walker for protocol-pairing rules.
+
+SIM013 needs an answer to "does this ``spans.begin()`` result reach a
+``spans.end()`` on every non-exception path?" — a question about paths,
+not occurrences, so a plain ``ast.walk`` cannot answer it.  This module
+implements the smallest analysis that can: a statement-level symbolic
+walk of one function body tracking, per local variable, whether a span
+opened into it is still open.
+
+Design points (all deliberate under-/over-approximations, chosen so the
+*real tree's* idioms analyze exactly):
+
+- **Paths, not a graph.**  Blocks are walked statement by statement
+  carrying a set of live states; branches fork states, joins merge them
+  with de-duplication, so the state count stays bounded by the number
+  of distinct open-variable combinations, not by path count.
+- **Guard correlation.**  The universal emission idiom is::
+
+      if spans:
+          h = spans.begin(...)
+      ...
+      if spans:
+          spans.end(h)
+
+  A path-insensitive walk would report the begin-then-skip-the-end
+  path.  Instead, each open variable remembers the syntactic guard
+  tests it was opened under; a later ``if`` with an identical test
+  (by ``ast.dump``) is *correlated* — on its false branch the begin
+  cannot have executed either, so the variable is dropped there rather
+  than reported.  Guard expressions are assumed stable within one
+  function body (true for ``if spans:`` — emitter truthiness never
+  changes mid-run).
+- **Escape closes.**  A span id that is returned, yielded, stored into
+  an attribute/subscript, or passed to any call other than ``end()``
+  has transferred ownership (``table[node] = spans.begin(...)`` in the
+  recovery stats, ``parent=switch_span`` in noded) — tracking stops
+  without a report.  Leak detection is deliberately limited to ids the
+  function provably kept to itself.
+- **Exception paths are exempt.**  ``raise`` terminates a path without
+  a report (SIM013 reads "every non-exception path"), and ``except``
+  handler bodies are analyzed only for their own begins, not as
+  closers for the normal path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+#: Walk outcome kinds.
+_FALL, _RETURN, _BREAK, _CONTINUE, _RAISE = range(5)
+
+
+class OpenSpan:
+    """One still-open begin: the node (for reporting) + its guards."""
+
+    __slots__ = ("node", "guards")
+
+    def __init__(self, node: ast.AST, guards: frozenset):
+        self.node = node
+        self.guards = guards
+
+
+class SpanPathAnalysis:
+    """Walk one function; collect begin nodes that can leak.
+
+    ``is_begin(call)`` / ``is_end(call)`` classify calls (the rule
+    supplies the receiver heuristics); ``leaks()`` yields
+    ``(begin_node, kind)`` where kind is ``"path"`` (some non-exception
+    path reaches the function exit with the span open) or
+    ``"overwrite"`` (the variable was re-bound while still open).
+    """
+
+    def __init__(self, fn, is_begin, is_end):
+        self.fn = fn
+        self.is_begin = is_begin
+        self.is_end = is_end
+        self._leaks: dict = {}   # id(node) -> (node, kind)
+
+    def leaks(self) -> Iterator:
+        outcomes = self._walk_block(self.fn.body, {}, frozenset())
+        for kind, state in outcomes:
+            if kind in (_FALL, _RETURN):
+                for span in state.values():
+                    self._leaks.setdefault(id(span.node),
+                                           (span.node, "path"))
+        seen: set = set()
+        for node, kind in self._leaks.values():
+            if id(node) not in seen:
+                seen.add(id(node))
+                yield node, kind
+
+    # --------------------------------------------------------------- blocks
+    def _walk_block(self, stmts, state: dict, guards: frozenset):
+        """Returns a list of (outcome-kind, state) pairs; ``state`` maps
+        variable name -> OpenSpan."""
+        live = [dict(state)]
+        done: list = []
+        for stmt in stmts:
+            next_live: list = []
+            for s in live:
+                for kind, out in self._walk_stmt(stmt, s, guards):
+                    if kind == _FALL:
+                        next_live.append(out)
+                    else:
+                        done.append((kind, out))
+            live = _dedupe(next_live)
+            if not live:
+                break
+        done.extend((_FALL, s) for s in live)
+        return done
+
+    # ----------------------------------------------------------- statements
+    def _walk_stmt(self, stmt, state: dict, guards: frozenset):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            return [(_FALL, state)]   # nested scopes analyzed separately
+
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._escape_uses(stmt.value, state, closing=True)
+            return [(_RETURN, state)]
+        if isinstance(stmt, ast.Raise):
+            return [(_RAISE, state)]
+        if isinstance(stmt, ast.Break):
+            return [(_BREAK, state)]
+        if isinstance(stmt, ast.Continue):
+            return [(_CONTINUE, state)]
+
+        if isinstance(stmt, ast.If):
+            return self._walk_if(stmt, state, guards)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._walk_loop(stmt, state, guards)
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, state, guards)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._escape_uses(item.context_expr, state, closing=True)
+            return self._walk_block(stmt.body, state, guards)
+
+        # -- simple statements ------------------------------------------
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Call) \
+                and self.is_begin(stmt.value):
+            # Other tracked spans fed to this begin (``parent=outer``)
+            # are handed off to the span tree — ownership transfers.
+            self._escape_uses(stmt.value, state, closing=True)
+            var = stmt.targets[0].id
+            prior = state.get(var)
+            if prior is not None:
+                self._leaks.setdefault(id(prior.node),
+                                       (prior.node, "overwrite"))
+            state = dict(state)
+            state[var] = OpenSpan(stmt.value, guards)
+            return [(_FALL, state)]
+
+        end_var = self._end_target(stmt)
+        if end_var is not None:
+            if end_var in state:
+                state = dict(state)
+                del state[end_var]
+            return [(_FALL, state)]
+
+        # Any other statement: span ids it *uses* escape tracking;
+        # plain reads in comparisons/conditions do not count.
+        self._escape_uses(stmt, state, closing=True)
+        return [(_FALL, state)]
+
+    def _walk_if(self, stmt: ast.If, state: dict, guards: frozenset):
+        """Fork on an ``if``, correlating guards conjunct by conjunct.
+
+        The compound close idiom ``if spans and h is not None:
+        spans.end(h)`` must correlate with a begin guarded by ``if
+        spans:`` alone — so an ``and`` test contributes each conjunct
+        to the true branch's guard set, and a variable is dropped from
+        the *false* branch when every conjunct is either one of its
+        recorded begin guards (test false ⇒ begin never ran) or a
+        non-None self-check on the variable itself (test false ⇒ the
+        handle is None ⇒ the begin never produced one).
+        """
+        test = stmt.test
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            conjuncts = list(test.values)
+        else:
+            conjuncts = [test]
+        keys = [_dump(c) for c in conjuncts]
+        true_out = self._walk_block(stmt.body, state, guards | set(keys))
+        false_state = {
+            var: span for var, span in state.items()
+            if not all(key in span.guards
+                       or _is_self_check(conj, var)
+                       for conj, key in zip(conjuncts, keys))
+        }
+        false_out = self._walk_block(stmt.orelse, false_state, guards)
+        return true_out + false_out
+
+    def _walk_loop(self, stmt, state: dict, guards: frozenset):
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._escape_uses(stmt.iter, state, closing=True)
+        body_out = self._walk_block(stmt.body, state, guards)
+        outcomes = []
+        exit_states = [dict(state)]       # zero iterations
+        for kind, out in body_out:
+            if kind in (_FALL, _BREAK, _CONTINUE):
+                exit_states.append(out)   # one-iteration approximation
+            else:
+                outcomes.append((kind, out))
+        else_block = getattr(stmt, "orelse", None) or []
+        for s in _dedupe(exit_states):
+            if else_block:
+                outcomes.extend(self._walk_block(else_block, s, guards))
+            else:
+                outcomes.append((_FALL, s))
+        return outcomes
+
+    def _walk_try(self, stmt: ast.Try, state: dict, guards: frozenset):
+        body_out = self._walk_block(stmt.body, state, guards)
+        # Handler bodies are exception paths: walk them only so begins
+        # inside are tracked for their own leaks, discard the outcomes.
+        for handler in stmt.handlers:
+            self._walk_block(handler.body, dict(state), guards)
+        outcomes = []
+        for kind, out in body_out:
+            if kind == _FALL and stmt.orelse:
+                for ekind, eout in self._walk_block(stmt.orelse, out,
+                                                    guards):
+                    outcomes.append((ekind, eout))
+            else:
+                outcomes.append((kind, out))
+        if not stmt.finalbody:
+            return outcomes
+        final = []
+        for kind, out in outcomes:
+            for fkind, fout in self._walk_block(stmt.finalbody, out,
+                                                guards):
+                final.append((kind if fkind == _FALL else fkind, fout))
+        return final
+
+    # -------------------------------------------------------------- helpers
+    def _end_target(self, stmt) -> Optional[str]:
+        """Variable closed by a statement-level ``<recv>.end(var, ...)``."""
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and self.is_end(stmt.value)):
+            return None
+        call = stmt.value
+        if call.args and isinstance(call.args[0], ast.Name):
+            return call.args[0].id
+        return None
+
+    def _escape_uses(self, node, state: dict, closing: bool) -> None:
+        """Drop tracking for span vars that escape through ``node``.
+
+        Uses inside a correlated ``end()`` call are not escapes (they
+        are the close); uses inside comparisons/boolean tests are plain
+        reads and keep tracking (``if spans and h is not None:``).
+        """
+        if not state:
+            return
+        escaped: set = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                if self.is_end(sub):
+                    continue
+                for arg in list(sub.args) + [k.value for k in sub.keywords]:
+                    for inner in ast.walk(arg):
+                        if isinstance(inner, ast.Name) \
+                                and inner.id in state:
+                            escaped.add(inner.id)
+            elif isinstance(sub, (ast.Assign, ast.AugAssign,
+                                  ast.AnnAssign)):
+                value = getattr(sub, "value", None)
+                targets = getattr(sub, "targets", None) \
+                    or [getattr(sub, "target", None)]
+                if value is not None and any(
+                        not isinstance(t, ast.Name) for t in targets if t):
+                    for inner in ast.walk(value):
+                        if isinstance(inner, ast.Name) \
+                                and inner.id in state:
+                            escaped.add(inner.id)
+            elif isinstance(sub, (ast.Yield, ast.YieldFrom)) \
+                    and sub.value is not None:
+                for inner in ast.walk(sub.value):
+                    if isinstance(inner, ast.Name) and inner.id in state:
+                        escaped.add(inner.id)
+            elif isinstance(sub, ast.Return) and sub.value is not None:
+                for inner in ast.walk(sub.value):
+                    if isinstance(inner, ast.Name) and inner.id in state:
+                        escaped.add(inner.id)
+        for var in sorted(escaped):
+            del state[var]
+
+
+def _is_self_check(test, var: str) -> bool:
+    """Is ``test`` a truthiness/non-None check of ``var`` itself?
+
+    Matches ``var``, ``var is not None`` and ``var != None`` — the
+    conjunct forms of the compound close guard.  When such a test is
+    false the handle is None, which (handles being non-None by
+    construction) means the begin never executed on this path.
+    """
+    if isinstance(test, ast.Name):
+        return test.id == var
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+            and isinstance(test.left, ast.Name) and test.left.id == var \
+            and isinstance(test.ops[0], (ast.IsNot, ast.NotEq)) \
+            and isinstance(test.comparators[0], ast.Constant) \
+            and test.comparators[0].value is None:
+        return True
+    return False
+
+
+def _dedupe(states: list) -> list:
+    seen: set = set()
+    out = []
+    for s in states:
+        key = frozenset(s)
+        if key not in seen:
+            seen.add(key)
+            out.append(s)
+    return out
+
+
+def _dump(node) -> str:
+    try:
+        return ast.dump(node)
+    except Exception:            # pragma: no cover - malformed test node
+        return repr(node)

@@ -40,7 +40,14 @@ SEVERITIES = ("warning", "error")
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``end_line`` is the last line of the flagged node (== ``line`` for
+    single-line nodes): the suppression machinery honours a pragma
+    anywhere in the ``line..end_line`` range, so a ``# simlint:
+    ignore[...]`` on the closing paren of a multi-line call still
+    discharges a finding reported at the call's first line.
+    """
 
     path: str          # repo-relative posix path
     line: int
@@ -48,10 +55,15 @@ class Finding:
     rule: str          # e.g. "SIM001"
     severity: str      # "error" | "warning"
     message: str
+    end_line: int = 0  # 0 means "same as line"
 
     def __post_init__(self):
         if self.severity not in SEVERITIES:
             raise ConfigError(f"unknown severity {self.severity!r}")
+
+    @property
+    def last_line(self) -> int:
+        return self.end_line if self.end_line > self.line else self.line
 
     def to_dict(self) -> dict:
         return {
@@ -61,6 +73,7 @@ class Finding:
             "rule": self.rule,
             "severity": self.severity,
             "message": self.message,
+            "end_line": self.last_line,
         }
 
     def render(self) -> str:
@@ -89,11 +102,21 @@ class Suppressions:
                          if r.strip()}
                 self._by_line.setdefault(lineno, set()).update(rules)
 
-    def suppresses(self, line: int, rule: str) -> bool:
-        rules = self._by_line.get(line)
-        if rules is None:
-            return False
-        return "*" in rules or rule.upper() in rules
+    def suppresses(self, line: int, rule: str,
+                   end_line: Optional[int] = None) -> bool:
+        """Is ``rule`` suppressed anywhere in ``line..end_line``?
+
+        A pragma on any physical line of the flagged statement counts —
+        a multi-line call reported at its first line is suppressed by a
+        pragma on its closing line just as well as on its opening one.
+        """
+        rule = rule.upper()
+        end = end_line if end_line is not None and end_line > line else line
+        for pragma_line, rules in self._by_line.items():
+            if line <= pragma_line <= end \
+                    and ("*" in rules or rule in rules):
+                return True
+        return False
 
     @property
     def pragma_lines(self) -> list[int]:
@@ -113,6 +136,12 @@ class ModuleUnderLint:
         self.source = source
         self.tree = tree if tree is not None else ast.parse(source, filename=path)
         self.suppressions = Suppressions(source)
+        #: set by ProjectIndex when this module is linted as part of a
+        #: whole-program run: the dotted module name and the shared index.
+        #: Standalone (per-module) linting leaves both None and the
+        #: interprocedural rules degrade to their local approximations.
+        self.module_name: Optional[str] = None
+        self.project = None         # ProjectIndex | None
         self._parents: Optional[dict] = None
         self._aliases: Optional[dict] = None
         self._generator_bodies: Optional[list] = None
@@ -300,21 +329,32 @@ def is_set_expr(node: ast.AST, known_attrs: Iterable[str] = (),
 
 # ---------------------------------------------------------------------- rules
 class Rule:
-    """Base class: subclasses set the metadata and implement check()."""
+    """Base class: subclasses set the metadata and implement check().
+
+    ``scope`` declares what a rule's findings depend on: ``"module"``
+    rules see one file at a time (their results are cacheable by that
+    file's content hash alone); ``"project"`` rules read the shared
+    :class:`~repro.analysis.simlint.project.ProjectIndex` (their results
+    additionally depend on every other file in the run and are keyed by
+    the project fingerprint).
+    """
 
     code: str = "SIM000"
     name: str = "abstract"
     severity: str = "error"
     description: str = ""
+    scope: str = "module"   # "module" | "project"
 
     def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, module: ModuleUnderLint, node: ast.AST,
                 message: str) -> Finding:
-        return Finding(path=module.path, line=getattr(node, "lineno", 1),
+        line = getattr(node, "lineno", 1)
+        return Finding(path=module.path, line=line,
                        col=getattr(node, "col_offset", 0), rule=self.code,
-                       severity=self.severity, message=message)
+                       severity=self.severity, message=message,
+                       end_line=getattr(node, "end_lineno", None) or line)
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -330,10 +370,28 @@ def register(cls):
 
 
 def all_rules() -> list[Rule]:
-    """Registered rules in code order (imports the rule module once)."""
+    """Registered rules in code order (imports the rule modules once)."""
+    from repro.analysis.simlint import interproc as _interproc  # noqa: F401
     from repro.analysis.simlint import rules as _rules  # noqa: F401
 
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rules_inventory_hash(rules: Optional[Iterable[Rule]] = None) -> str:
+    """Digest of the active rule inventory (codes + metadata).
+
+    Keys the cross-run result cache and the checked-in baseline: when a
+    rule is added, removed, re-scoped, or its severity changes, every
+    cached result and baseline count derived under the old inventory is
+    invalid and must be recomputed.
+    """
+    import hashlib
+
+    active = list(rules) if rules is not None else all_rules()
+    text = "\n".join(
+        f"{r.code}|{r.name}|{r.severity}|{r.scope}|{r.description}"
+        for r in sorted(active, key=lambda r: r.code))
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 # --------------------------------------------------------------------- driver
@@ -344,6 +402,8 @@ class LintResult:
     findings: list = field(default_factory=list)
     files: int = 0
     parse_errors: list = field(default_factory=list)  # (path, message)
+    cache_hits: int = 0          # files whose findings came from the cache
+    cache_misses: int = 0        # files that ran at least one rule fresh
 
     def count(self, severity: str) -> int:
         return sum(1 for f in self.findings if f.severity == severity)
@@ -358,11 +418,25 @@ class LintResult:
 
 
 def _iter_py_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` under ``paths``, each file yielded exactly once.
+
+    Overlapping inputs (``repro lint src src/repro/fm``) must not
+    double-count findings against ``--fail-on`` or the baseline, so
+    files are deduplicated by resolved path across all inputs.
+    """
+    seen: set = set()
     for path in paths:
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
         elif path.suffix == ".py":
-            yield path
+            candidates = (path,)
+        else:
+            continue
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
 
 
 def relative_path(path: Path, root: Optional[Path] = None) -> str:
@@ -390,26 +464,156 @@ def lint_module(module: ModuleUnderLint,
     findings = []
     for rule in active:
         for finding in rule.check(module):
-            if not module.suppressions.suppresses(finding.line, finding.rule):
+            if not module.suppressions.suppresses(
+                    finding.line, finding.rule, finding.last_line):
                 findings.append(finding)
     findings.sort()
     return findings
 
 
 def lint_paths(paths: Iterable, root: Optional[Path] = None,
-               rules: Optional[Iterable[Rule]] = None) -> LintResult:
-    """Lint every ``*.py`` under ``paths``; findings in stable order."""
+               rules: Optional[Iterable[Rule]] = None,
+               cache=None,
+               report_paths: Optional[Iterable[str]] = None) -> LintResult:
+    """Lint every ``*.py`` under ``paths``; findings in stable order.
+
+    This is the two-pass whole-program driver: pass one parses every
+    file and builds the shared
+    :class:`~repro.analysis.simlint.project.ProjectIndex` (symbol table
+    + call graph), pass two runs the rules with that cross-module
+    context attached to each module.
+
+    ``cache`` is an optional
+    :class:`~repro.analysis.simlint.cache.LintCache`: module-scope rule
+    results are reused when a file's content hash is unchanged,
+    project-scope results additionally require the whole-tree
+    fingerprint to match.  When *every* file hits the cache the parse
+    and index passes are skipped entirely.
+
+    ``report_paths`` restricts which files *report* findings (the
+    ``--changed`` mode): the index is still built over everything so
+    interprocedural rules see the whole program, but findings are only
+    emitted for the named repo-relative paths.
+    """
+    from repro.analysis.simlint.project import ProjectIndex
+
     result = LintResult()
     active = list(rules) if rules is not None else all_rules()
+    module_rules = [r for r in active if r.scope != "project"]
+    project_rules = [r for r in active if r.scope == "project"]
+    rules_hash = rules_inventory_hash(active)
+    report_set = set(report_paths) if report_paths is not None else None
+
+    files = []   # (path, rel, sha)
     for path in _iter_py_files(Path(p) for p in paths):
         rel = relative_path(path, root)
         try:
-            source = path.read_text()
-            module = ModuleUnderLint(rel, source)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            data = path.read_bytes()
+        except OSError as exc:
             result.parse_errors.append((rel, str(exc)))
             continue
+        sha = _sha256(data)
+        files.append((path, rel, sha, data))
+
+    fingerprint = None
+    if cache is not None:
+        fingerprint = project_fingerprint(
+            rules_hash, [(rel, sha) for _, rel, sha, _ in files])
+        if _serve_fully_from_cache(result, cache, files, rules_hash,
+                                   fingerprint, report_set):
+            return result
+
+    modules: list = []
+    for path, rel, sha, data in files:
+        try:
+            module = ModuleUnderLint(rel, data.decode())
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            result.parse_errors.append((rel, str(exc)))
+            if cache is not None:
+                cache.store_error(path, rel, sha, rules_hash, str(exc))
+            continue
         result.files += 1
-        result.findings.extend(lint_module(module, rules=active))
+        modules.append((path, rel, sha, module))
+
+    if project_rules:
+        ProjectIndex([m for _, _, _, m in modules]).attach()
+
+    for path, rel, sha, module in modules:
+        local = project = None
+        if cache is not None:
+            local = cache.lookup_local(path, rel, sha, rules_hash)
+            project = cache.lookup_project(path, rel, sha, fingerprint)
+        fresh = False
+        if local is None:
+            fresh = True
+            local = lint_module(module, rules=module_rules)
+        if project is None:
+            fresh = fresh or bool(project_rules)
+            project = lint_module(module, rules=project_rules) \
+                if project_rules else []
+        if fresh:
+            result.cache_misses += 1
+        else:
+            result.cache_hits += 1
+        if cache is not None:
+            cache.store(path, rel, sha, rules_hash, fingerprint,
+                        local, project)
+        if report_set is None or rel in report_set:
+            result.findings.extend(local)
+            result.findings.extend(project)
     result.findings.sort()
     return result
+
+
+def _sha256(data: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_fingerprint(rules_hash: str, rel_shas: Iterable) -> str:
+    """Digest of the whole linted tree + rule inventory.
+
+    Any file changing anywhere invalidates every *project-scope* cached
+    result (a helper edited in one module can change taint for call
+    sites in another), while *module-scope* results survive on their
+    per-file hash alone.
+    """
+    import hashlib
+
+    h = hashlib.sha256(rules_hash.encode())
+    for rel, sha in sorted(rel_shas):
+        h.update(f"\0{rel}\0{sha}".encode())
+    return h.hexdigest()
+
+
+def _serve_fully_from_cache(result: LintResult, cache, files,
+                            rules_hash: str, fingerprint: str,
+                            report_set) -> bool:
+    """Assemble the whole result from cache if *every* file hits.
+
+    The warm-tree fast path: no parsing, no index, no rule runs — just
+    content hashing and a findings merge.  Returns False (and leaves
+    ``result`` untouched) as soon as any file misses.
+    """
+    findings: list = []
+    parse_errors: list = []
+    parsed_files = 0
+    for path, rel, sha, _ in files:
+        entry = cache.lookup_full(path, rel, sha, rules_hash, fingerprint)
+        if entry is None:
+            return False
+        error, local, project = entry
+        if error is not None:
+            parse_errors.append((rel, error))
+            continue
+        parsed_files += 1
+        if report_set is None or rel in report_set:
+            findings.extend(local)
+            findings.extend(project)
+    result.files = parsed_files
+    result.parse_errors.extend(parse_errors)
+    result.findings.extend(findings)
+    result.findings.sort()
+    result.cache_hits = len(files)
+    return True

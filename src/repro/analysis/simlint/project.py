@@ -1,0 +1,524 @@
+"""Whole-program context for simlint: symbol table, call graph, taint.
+
+The per-file rules (SIM001–SIM010) are defeated by one indirection:
+``def now(): return time.time()`` in a helper module is flagged *at the
+read* (SIM001 in the helper), but nothing connects a model-code call of
+``now()`` back to the host clock — and once the read carries a pragma
+(``sim/bench.py`` measures wall time by design), its callers inherit a
+laundered determinism leak that no rule sees.  This module is the
+cross-module half of the analyzer:
+
+- **Pass one** builds a *module-qualified symbol table* over every
+  parsed file: functions and methods under dotted qualified names
+  (``repro.fm.queues.PacketQueue.append``), class base lists, and
+  re-export edges (``from x.y import f`` in ``pkg/__init__.py`` maps
+  ``pkg.f`` to ``x.y.f``).
+- **Pass two** derives a *conservative call graph*: for every function
+  body, each syntactically resolvable call target (local function,
+  imported name through the alias map, ``self.method()`` through the
+  class and its project-resolved bases) becomes an edge.  Unresolvable
+  targets (arbitrary attribute chains, dynamic dispatch) contribute no
+  edge — the analysis under-approximates reachability rather than
+  inventing it, so every reported chain is a real syntactic path.
+- **Taint closures** label functions whose *return value* carries a
+  banned source transitively: wall-clock reads (SIM001's table),
+  process entropy (SIM010's), or materialised set-iteration order
+  (SIM003's concern).  A source read that carries its own suppression
+  pragma does not taint — the pragma's justification covers the value's
+  downstream use, exactly like the documented ``sim/bench.py`` sites.
+- **Blocking closures** label functions that (transitively) perform a
+  blocking host call (SIM007's table), so SIM012 can flag a generator
+  that reaches ``time.sleep`` two frames down.
+
+Everything here is stdlib ``ast`` over the already-parsed
+:class:`~repro.analysis.simlint.core.ModuleUnderLint` trees; building
+the index costs one linear walk per module plus fixpoint closures over
+the call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+#: Taint kinds, in the order chains are reported.
+TAINT_WALL_CLOCK = "wall-clock"
+TAINT_ENTROPY = "process-entropy"
+TAINT_SET_ORDER = "set-order"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, module-qualified."""
+
+    qualname: str                 # "pkg.mod.func" / "pkg.mod.Class.method"
+    module_name: str              # "pkg.mod"
+    node: ast.AST                 # FunctionDef | AsyncFunctionDef
+    class_qualname: Optional[str] = None   # owning class, if a method
+    is_generator: bool = False
+    #: resolved project-internal call targets (qualified names)
+    calls: set = field(default_factory=set)
+    #: unresolved dotted external targets ("time.sleep", "numpy.zeros")
+    external_calls: set = field(default_factory=set)
+    #: call node per resolved internal target (first site wins), for
+    #: precise finding locations
+    call_sites: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases as written plus project-resolved base qualnames."""
+
+    qualname: str
+    module_name: str
+    node: ast.ClassDef
+    base_names: list = field(default_factory=list)   # resolved dotted names
+    methods: dict = field(default_factory=dict)      # name -> FunctionInfo
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/fm/queues.py`` -> ``repro.fm.queues`` (the ``src``
+    layout prefix is dropped so names match import statements);
+    ``tests/helpers.py`` -> ``tests.helpers``; ``pkg/__init__.py`` ->
+    ``pkg``.
+    """
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ProjectIndex:
+    """Symbol table + call graph + taint closures over one lint run."""
+
+    def __init__(self, modules: Iterable):
+        self.modules = list(modules)          # ModuleUnderLint objects
+        self.by_module_name: dict = {}
+        self.functions: dict = {}             # qualname -> FunctionInfo
+        self.classes: dict = {}               # qualname -> ClassInfo
+        self.reexports: dict = {}             # "pkg.Name" -> "pkg.mod.Name"
+        self._taint: Optional[dict] = None    # qualname -> (kind, source)
+        self._blocking: Optional[dict] = None # qualname -> source call name
+        for module in self.modules:
+            module.module_name = module_name_for(module.path)
+            self.by_module_name[module.module_name] = module
+        for module in self.modules:
+            self._index_module(module)
+        for module in self.modules:
+            self._link_calls(module)
+
+    def attach(self) -> "ProjectIndex":
+        """Point every module at this index (pass-two context)."""
+        for module in self.modules:
+            module.project = self
+        return self
+
+    # ------------------------------------------------------------- pass one
+    def _index_module(self, module) -> None:
+        modname = module.module_name
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, f"{modname}.{node.name}")
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node, f"{modname}.{node.name}")
+            elif isinstance(node, ast.ImportFrom):
+                source = self._import_source(module, node)
+                if source is None:
+                    continue
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    local = item.asname or item.name
+                    self.reexports[f"{modname}.{local}"] = \
+                        f"{source}.{item.name}"
+
+    def _import_source(self, module, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted source module of a (possibly relative) import."""
+        if node.level == 0:
+            return node.module
+        base = module.module_name.split(".")
+        if not module.path.endswith("__init__.py"):
+            base = base[:-1]
+        cut = node.level - 1
+        if cut:
+            base = base[:-cut] if cut <= len(base) else []
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    def _add_function(self, module, node, qualname,
+                      class_qualname: Optional[str] = None) -> None:
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname, module_name=module.module_name, node=node,
+            class_qualname=class_qualname,
+            is_generator=_is_generator(node))
+
+    def _add_class(self, module, node: ast.ClassDef, qualname: str) -> None:
+        info = ClassInfo(qualname=qualname, module_name=module.module_name,
+                         node=node)
+        for base in node.bases:
+            name = module.resolve(base)
+            if name is not None:
+                info.base_names.append(self.resolve_symbol(name) or name)
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qual = f"{qualname}.{child.name}"
+                self._add_function(module, child, method_qual,
+                                   class_qualname=qualname)
+                info.methods[child.name] = self.functions[method_qual]
+        self.classes[qualname] = info
+
+    # ----------------------------------------------------------- resolution
+    def resolve_symbol(self, dotted: str, _depth: int = 0) -> Optional[str]:
+        """Canonical qualified name for ``dotted``, chasing re-exports.
+
+        Returns a key of :attr:`functions` or :attr:`classes`, or None
+        when the name does not resolve inside the project.
+        """
+        if _depth > 8:     # re-export cycle guard
+            return None
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        if dotted in self.reexports:
+            return self.resolve_symbol(self.reexports[dotted], _depth + 1)
+        # "pkg.mod.Class.method" where "pkg.mod.Class" needs resolving
+        # (e.g. through a re-export) one level up.
+        if "." in dotted:
+            head, _, tail = dotted.rpartition(".")
+            resolved_head = self.resolve_symbol(head, _depth + 1)
+            if resolved_head is not None and resolved_head != head:
+                return self.resolve_symbol(f"{resolved_head}.{tail}",
+                                           _depth + 1)
+        return None
+
+    def resolve_call(self, module, call: ast.Call) -> Optional[str]:
+        """Project-internal qualified target of ``call``, or None."""
+        func = call.func
+        # self.method() -> look it up on the enclosing class + bases.
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"):
+            owner = self._enclosing_class_qualname(module, call)
+            if owner is not None:
+                found = self.lookup_method(owner, func.attr)
+                if found is not None:
+                    return found.qualname
+            return None
+        name = module.resolve(func)
+        if name is None:
+            return None
+        # A bare name is module-local first, then an imported alias.
+        if "." not in name:
+            candidate = f"{module.module_name}.{name}"
+            resolved = self.resolve_symbol(candidate)
+            if resolved is not None:
+                return resolved
+        return self.resolve_symbol(name)
+
+    def lookup_method(self, class_qualname: str, method: str,
+                      _depth: int = 0) -> Optional[FunctionInfo]:
+        """Resolve ``method`` on a class or its project-known bases (MRO
+        approximated depth-first in base order)."""
+        if _depth > 8:
+            return None
+        info = self.classes.get(class_qualname)
+        if info is None:
+            return None
+        if method in info.methods:
+            return info.methods[method]
+        for base in info.base_names:
+            resolved = self.resolve_symbol(base)
+            if resolved is None:
+                continue
+            found = self.lookup_method(resolved, method, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def class_of(self, qualname: str) -> Optional[ClassInfo]:
+        info = self.functions.get(qualname)
+        if info is None or info.class_qualname is None:
+            return None
+        return self.classes.get(info.class_qualname)
+
+    def subclasses_of(self, base_suffix: str) -> list:
+        """ClassInfo list whose (transitive) bases end with
+        ``base_suffix`` (e.g. ``"ReliabilityStrategy"``)."""
+        out = []
+        for info in self.classes.values():
+            if self._derives_from(info, base_suffix, set()):
+                out.append(info)
+        return sorted(out, key=lambda c: c.qualname)
+
+    def _derives_from(self, info: ClassInfo, suffix: str,
+                      seen: set) -> bool:
+        if info.qualname in seen:
+            return False
+        seen.add(info.qualname)
+        for base in info.base_names:
+            if base == suffix or base.endswith("." + suffix):
+                return True
+            resolved = self.resolve_symbol(base)
+            if resolved is not None:
+                parent = self.classes.get(resolved)
+                if parent is not None \
+                        and self._derives_from(parent, suffix, seen):
+                    return True
+        return False
+
+    def _enclosing_class_qualname(self, module, node) -> Optional[str]:
+        cur = module.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                qual = f"{module.module_name}.{cur.name}"
+                return qual if qual in self.classes else None
+            cur = module.parents.get(cur)
+        return None
+
+    def function_at(self, module, node) -> Optional[FunctionInfo]:
+        """The indexed FunctionInfo whose body contains ``node``."""
+        fn = module.enclosing_function(node)
+        while fn is not None and isinstance(fn, ast.Lambda):
+            fn = module.enclosing_function(fn)
+        if fn is None:
+            return None
+        return self._info_for_node(module, fn)
+
+    def _info_for_node(self, module, fn) -> Optional[FunctionInfo]:
+        owner = self._enclosing_class_qualname(module, fn)
+        qual = (f"{owner}.{fn.name}" if owner
+                else f"{module.module_name}.{fn.name}")
+        info = self.functions.get(qual)
+        if info is not None and info.node is fn:
+            return info
+        return None
+
+    # ------------------------------------------------------------- pass two
+    def _link_calls(self, module) -> None:
+        for qual, info in self.functions.items():
+            if info.module_name != module.module_name:
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                # Skip calls belonging to a *nested* indexed function:
+                # they get their own edges.  (Nested defs are not
+                # indexed, so their calls conservatively attribute to
+                # the enclosing indexed function.)
+                target = self.resolve_call(module, node)
+                if target is not None and target != qual:
+                    info.calls.add(target)
+                    info.call_sites.setdefault(target, node)
+                else:
+                    name = module.resolve(node.func)
+                    if name is not None and "." in name:
+                        info.external_calls.add(name)
+
+    # ------------------------------------------------------- taint closures
+    @property
+    def taint(self) -> dict:
+        """qualname -> (kind, chain) for return-value-tainted functions.
+
+        ``chain`` is the qualified-name path from this function down to
+        the banned source call, ending in the source's dotted name —
+        ready to render as ``a -> b -> time.monotonic() [wall-clock]``.
+        """
+        if self._taint is None:
+            self._taint = self._compute_taint()
+        return self._taint
+
+    @property
+    def blocking(self) -> dict:
+        """qualname -> chain for functions that reach a blocking call."""
+        if self._blocking is None:
+            self._blocking = self._compute_blocking()
+        return self._blocking
+
+    def _compute_taint(self) -> dict:
+        from repro.analysis.simlint.rules import _ENTROPY, _WALL_CLOCK
+
+        tainted: dict = {}
+        # Seed: functions whose return value contains a banned read.
+        for qual, info in sorted(self.functions.items()):
+            module = self.by_module_name[info.module_name]
+            seed = _direct_return_taint(module, info.node,
+                                        _WALL_CLOCK, _ENTROPY)
+            if seed is not None:
+                kind, source = seed
+                tainted[qual] = (kind, [qual, source])
+        # Closure: returning a call of a tainted function taints.
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in sorted(self.functions.items()):
+                if qual in tainted:
+                    continue
+                module = self.by_module_name[info.module_name]
+                for target in sorted(info.calls):
+                    if target not in tainted:
+                        continue
+                    if _returns_call_of(module, info, target, self):
+                        kind, chain = tainted[target]
+                        tainted[qual] = (kind, [qual] + chain)
+                        changed = True
+                        break
+        return tainted
+
+    def _compute_blocking(self) -> dict:
+        from repro.analysis.simlint.rules import (
+            _BLOCKING_EXACT,
+            _BLOCKING_PREFIXES,
+        )
+
+        blocking: dict = {}
+        for qual, info in sorted(self.functions.items()):
+            module = self.by_module_name[info.module_name]
+            source = _direct_blocking_call(module, info.node,
+                                           _BLOCKING_EXACT,
+                                           _BLOCKING_PREFIXES)
+            if source is not None:
+                blocking[qual] = [qual, source]
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in sorted(self.functions.items()):
+                if qual in blocking:
+                    continue
+                for target in sorted(info.calls):
+                    if target in blocking:
+                        blocking[qual] = [qual] + blocking[target]
+                        changed = True
+                        break
+        return blocking
+
+
+# ------------------------------------------------------------- tree helpers
+def _is_generator(fn) -> bool:
+    for sub in ast.walk(fn):
+        if sub is fn:
+            continue
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            continue
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)) \
+                and _owner_is(fn, sub):
+            return True
+    return False
+
+
+def _owner_is(fn, node) -> bool:
+    """Cheap ownership check: no nested function re-owns ``node``."""
+    for sub in ast.walk(fn):
+        if sub is fn:
+            continue
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            for inner in ast.walk(sub):
+                if inner is node:
+                    return False
+    return True
+
+
+def _call_name_if(module, node, exact, prefixes=()) -> Optional[str]:
+    if not isinstance(node, ast.Call):
+        return None
+    name = module.resolve(node.func)
+    if name is None:
+        return None
+    if name in exact or name.startswith(tuple(prefixes)):
+        return name
+    return None
+
+
+def _suppressed_source(module, node, codes=("SIM001", "SIM010", "SIM007",
+                                            "SIM011", "SIM012")) -> bool:
+    """A pragma on the source read discharges downstream propagation."""
+    line = getattr(node, "lineno", 1)
+    end = getattr(node, "end_lineno", None) or line
+    sup = module.suppressions
+    return sup.skip_file or any(sup.suppresses(line, c, end) for c in codes)
+
+
+def _direct_return_taint(module, fn, wall_clock, entropy):
+    """(kind, source-name) if any ``return`` carries a banned read.
+
+    Tracks one level of local data flow: names assigned from a banned
+    call anywhere in the function taint a ``return`` of that name.
+    """
+    tainted_names: dict = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            hit = _expr_taint(module, node.value, wall_clock, entropy)
+            if hit is not None:
+                tainted_names[node.targets[0].id] = hit
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        hit = _expr_taint(module, node.value, wall_clock, entropy)
+        if hit is not None:
+            return hit
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Name) and sub.id in tainted_names:
+                return tainted_names[sub.id]
+    return None
+
+
+def _expr_taint(module, expr, wall_clock, entropy):
+    for sub in ast.walk(expr):
+        name = _call_name_if(module, sub, wall_clock)
+        if name is not None and not _suppressed_source(module, sub):
+            return (TAINT_WALL_CLOCK, f"{name}()")
+        name = _call_name_if(module, sub, entropy, ("secrets.",))
+        if name is not None and not _suppressed_source(module, sub):
+            return (TAINT_ENTROPY, f"{name}()")
+    # Materialised set order: list()/tuple() over a set expression.
+    from repro.analysis.simlint.core import is_set_expr
+
+    for sub in ast.walk(expr):
+        if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+                and sub.func.id in ("list", "tuple") and sub.args
+                and is_set_expr(sub.args[0], module.set_typed_attrs,
+                                module.set_typed_names)
+                and not _suppressed_source(module, sub, ("SIM003", "SIM011"))):
+            return (TAINT_SET_ORDER, f"{sub.func.id}(set)")
+    return None
+
+
+def _returns_call_of(module, info, target, index) -> bool:
+    """Does ``info`` return (directly or via a local name) a call whose
+    resolved target is ``target``?"""
+    returned_names: set = set()
+    call_names: dict = {}
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call):
+            if index.resolve_call(module, node.value) == target:
+                call_names[node.targets[0].id] = True
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        for sub in ast.walk(node.value):
+            if isinstance(sub, ast.Call) \
+                    and index.resolve_call(module, sub) == target:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in call_names:
+                returned_names.add(sub.id)
+    return bool(returned_names)
+
+
+def _direct_blocking_call(module, fn, exact, prefixes):
+    for node in ast.walk(fn):
+        name = _call_name_if(module, node, exact, prefixes)
+        if name is not None and not _suppressed_source(
+                module, node, ("SIM007", "SIM012")):
+            return f"{name}()"
+    return None

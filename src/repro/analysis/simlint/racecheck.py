@@ -100,12 +100,33 @@ class BufferOwnershipMonitor:
     or call :meth:`install` / :meth:`uninstall` explicitly.  Only one
     monitor may be installed at a time.
 
-    ``plant_at`` schedules a deliberate single out-of-window append at
-    that sim time (retrying briefly until some context is STORED) — the
-    positive control proving the detector is live.
+    ``plant_at`` schedules a deliberate single out-of-ownership-window
+    access at that sim time — the positive control proving the detector
+    is live.  ``plant_kind`` picks which race class the probe commits:
+
+    - ``stored-access`` — append to a STORED context's send queue;
+    - ``halted-send`` — dequeue from an ACTIVE context's send queue
+      while its node's halt bit is raised.  Halt windows are far
+      shorter than any polling interval and only the early switches are
+      guaranteed to have an installed context, so this probe triggers
+      from the first halt transition that has one, ignoring
+      ``plant_at``;
+    - ``sram-stored`` — flip a descriptor sitting in a STORED context's
+      send queue.
+
+    Every probe undoes its own mutation surgically (with queue
+    signalling suppressed) so the run completes normally: the only
+    observable effect is the one race report.
     """
 
-    def __init__(self, plant_at: Optional[float] = None):
+    PLANT_KINDS = ("stored-access", "halted-send", "sram-stored")
+
+    def __init__(self, plant_at: Optional[float] = None,
+                 plant_kind: str = "stored-access"):
+        if plant_kind not in self.PLANT_KINDS:
+            raise SimulationError(
+                f"unknown plant kind {plant_kind!r}; "
+                f"expected one of {self.PLANT_KINDS}")
         self.races: list = []
         self.checked_ops = 0
         self.saves = 0
@@ -115,7 +136,9 @@ class BufferOwnershipMonitor:
         self._queue_owner: dict = {}   # id(queue) -> FMContext
         self._halted: dict = {}        # node_id -> bool
         self._epoch: dict = {}         # node_id -> ownership epoch
+        self._nics: dict = {}          # node_id -> MyrinetNIC, seen at halts
         self._plant_at = plant_at
+        self._plant_kind = plant_kind
         self._probe_scheduled = False
         self._busy = False             # reentrancy guard (load_all→append)
         self._originals: Optional[dict] = None
@@ -197,12 +220,14 @@ class BufferOwnershipMonitor:
         def patched_set_halt(nic_self):
             mon = _ACTIVE
             if mon is not None:
+                mon._nics[nic_self.node_id] = nic_self
                 mon._on_halt_transition(nic_self.node_id, halted=True)
             return set_halt(nic_self)
 
         def patched_clear_halt(nic_self):
             mon = _ACTIVE
             if mon is not None:
+                mon._nics[nic_self.node_id] = nic_self
                 mon._on_halt_transition(nic_self.node_id, halted=False)
             return clear_halt(nic_self)
 
@@ -242,7 +267,10 @@ class BufferOwnershipMonitor:
         self._contexts.append(ctx)
         self._queue_owner[id(ctx.send_queue)] = ctx
         self._queue_owner[id(ctx.recv_queue)] = ctx
-        if self._plant_at is not None and not self._probe_scheduled:
+        if self._plant_at is not None and not self._probe_scheduled \
+                and self._plant_kind != "halted-send":
+            # halted-send triggers from the halt transition itself; the
+            # two STORED-window kinds poll from a scheduled probe.
             self._probe_scheduled = True
             ctx.sim.process(self._probe(ctx.sim, self._plant_at))
 
@@ -267,6 +295,9 @@ class BufferOwnershipMonitor:
     def _on_halt_transition(self, node_id: int, halted: bool) -> None:
         self._halted[node_id] = halted
         self._epoch[node_id] = self._epoch.get(node_id, 0) + 1
+        if (halted and self._plant_at is not None and self.planted == 0
+                and self._plant_kind == "halted-send"):
+            self._plant_halted_send(node_id)
 
     def _on_sram_corrupt(self, nic: MyrinetNIC, packet) -> None:
         # Attribute the flipped descriptor to whichever registered send
@@ -280,50 +311,111 @@ class BufferOwnershipMonitor:
 
     # ------------------------------------------------------------ planted probe
     def _probe(self, sim, plant_at: float):
-        """One deliberate out-of-window append, then a surgical undo.
-
-        Waits for ``plant_at``, then retries briefly until some context
-        is STORED, picks the lowest (job, rank, node) one and appends a
-        dummy packet to its send queue through the *monitored* path —
-        exactly the access the protocol forbids.  The packet is then
-        removed again with queue signalling suppressed, so the backing
-        fingerprint still verifies and the run completes normally: the
-        only observable effect is the one race report.
-        """
+        """Wait for ``plant_at``, then retry briefly until a STORED
+        context (and, for ``sram-stored``, a seen NIC) is available and
+        commit the configured out-of-window access."""
         yield plant_at
         for _ in range(200):
             stored = [c for c in self._contexts
                       if c.state is ContextState.STORED
                       and not c.send_queue.is_full]
-            if stored:
+            if stored and (self._plant_kind != "sram-stored"
+                           or self._nics):
                 break
             yield 0.0005
         else:
             raise SimulationError(
                 "racecheck --plant: no stored context became available")
         ctx = min(stored, key=lambda c: (c.job_id, c.rank, c.node_id))
+        if self._plant_kind == "sram-stored":
+            self._plant_sram_stored(ctx)
+        else:
+            self._plant_stored_access(ctx)
+
+    class _FrozenSignalling:
+        """Suspend a queue's wake-ups while a probe mutates and undoes.
+
+        Saves and empties the nonempty callbacks/waiters, pending
+        getters, space waiters and the wait observer, and restores the
+        peak-occupancy stat — the planted mutation must be invisible to
+        the firmware, to blocked processes, and to the stats."""
+
+        def __init__(self, queue):
+            self.queue = queue
+
+        def __enter__(self):
+            q = self.queue
+            self.saved = (q._nonempty_callbacks, q._nonempty_waiters,
+                          q._getters, q._space_waiters, q.wait_observer,
+                          q.peak_occupancy)
+            q._nonempty_callbacks = []
+            q._nonempty_waiters = deque()
+            q._getters = deque()
+            q._space_waiters = deque()
+            q.wait_observer = None
+            return self
+
+        def __exit__(self, *exc):
+            q = self.queue
+            (q._nonempty_callbacks, q._nonempty_waiters, q._getters,
+             q._space_waiters, q.wait_observer, q.peak_occupancy) = self.saved
+
+    def _plant_stored_access(self, ctx: FMContext) -> None:
+        """Append to a STORED context's send queue, then undo.
+
+        The append goes through the *monitored* path — exactly the
+        access the ownership protocol forbids — then the packet is
+        removed again so the backing fingerprint still verifies."""
         queue = ctx.send_queue
-        # Freeze the queue's signalling so the planted packet is invisible
-        # to the firmware and to blocked waiters.
-        saved_callbacks = queue._nonempty_callbacks
-        saved_waiters = queue._nonempty_waiters
-        saved_getters = queue._getters
-        saved_peak = queue.peak_occupancy
-        queue._nonempty_callbacks = []
-        queue._nonempty_waiters = deque()
-        queue._getters = deque()
-        try:
+        with self._FrozenSignalling(queue):
             packet = Packet(ptype=PacketType.DATA, src_node=ctx.node_id,
                             dst_node=ctx.node_id, job_id=ctx.job_id)
             queue.append(packet)   # <-- the monitored out-of-window access
             self.planted += 1
             queue._items.pop()
             queue.total_appended -= 1
+
+    def _plant_sram_stored(self, ctx: FMContext) -> None:
+        """Corrupt a descriptor parked in a STORED context's send queue.
+
+        The dummy packet is slipped directly into the ring (bypassing
+        the monitored ``append`` — this probe must trip only the SRAM
+        check), the flip goes through the monitored
+        ``corrupt_descriptor`` path, then both the packet and the NIC's
+        fault counter are restored."""
+        nic = self._nics.get(ctx.node_id) \
+            or self._nics[min(self._nics)]
+        queue = ctx.send_queue
+        packet = Packet(ptype=PacketType.DATA, src_node=ctx.node_id,
+                        dst_node=ctx.node_id, job_id=ctx.job_id)
+        queue._items.append(packet)
+        try:
+            nic.corrupt_descriptor(packet)   # <-- the monitored flip
+            self.planted += 1
         finally:
-            queue._nonempty_callbacks = saved_callbacks
-            queue._nonempty_waiters = saved_waiters
-            queue._getters = saved_getters
-            queue.peak_occupancy = saved_peak
+            queue._items.pop()
+            nic.sram_faults -= 1
+
+    def _plant_halted_send(self, node_id: int) -> None:
+        """Dequeue from an ACTIVE send queue inside the halt window.
+
+        Called from the halt transition itself (the only instant the
+        window is provably open).  The monitor records the forbidden
+        pickup before the underlying ``try_pop`` runs; if a packet
+        actually came off, it is put back with signalling suppressed."""
+        active = [c for c in self._contexts
+                  if c.node_id == node_id
+                  and c.state is ContextState.ACTIVE]
+        if not active:
+            return
+        ctx = min(active, key=lambda c: (c.job_id, c.rank))
+        queue = ctx.send_queue
+        with self._FrozenSignalling(queue):
+            packet = queue.try_pop()   # <-- the monitored halted pickup
+            self.planted += 1
+            if packet is not None:
+                queue._items.appendleft(packet)
+                queue.total_removed -= 1
 
     # ------------------------------------------------------------ report
     def report(self) -> dict:
@@ -384,13 +476,14 @@ class RacecheckResult:
 
 
 def run_racecheck(preset: str = "chaos", seed: int = 0,
-                  plant: bool = False,
-                  plant_at: float = 0.006) -> RacecheckResult:
+                  plant: bool = False, plant_at: float = 0.006,
+                  plant_kind: str = "stored-access") -> RacecheckResult:
     """Run one preset under the ownership monitor."""
     from repro.faults.chaos import run_chaos_point
 
     point = preset_point(preset, seed)
-    monitor = BufferOwnershipMonitor(plant_at=plant_at if plant else None)
+    monitor = BufferOwnershipMonitor(plant_at=plant_at if plant else None,
+                                     plant_kind=plant_kind)
     with monitor:
         run_report = run_chaos_point(point)
     return RacecheckResult(preset=preset, seed=seed, plant=plant,
@@ -418,15 +511,19 @@ def run_racecheck_smoke(seed: int = 0) -> dict:
             "checked_ops": result.monitor["checked_ops"],
         })
 
-    planted = run_racecheck(preset="chaos", seed=seed, plant=True)
-    checks.append({
-        "check": "planted-detected",
-        "ok": (planted.monitor["planted"] == 1
-               and planted.race_count == 1
-               and planted.monitor["races"][0]["kind"] == "stored-access"),
-        "races": planted.race_count,
-        "planted": planted.monitor["planted"],
-    })
+    # Positive controls: each race class must be caught exactly once
+    # when deliberately committed.
+    for kind in BufferOwnershipMonitor.PLANT_KINDS:
+        planted = run_racecheck(preset="chaos", seed=seed, plant=True,
+                                plant_kind=kind)
+        checks.append({
+            "check": f"planted-{kind}",
+            "ok": (planted.monitor["planted"] == 1
+                   and planted.race_count == 1
+                   and planted.monitor["races"][0]["kind"] == kind),
+            "races": planted.race_count,
+            "planted": planted.monitor["planted"],
+        })
 
     # Bit-identity: the monitored clean chaos run must match an
     # unmonitored run of the same point byte for byte.

@@ -69,19 +69,32 @@ def baseline_counts(result: LintResult) -> dict:
     return counts
 
 
-def render_baseline(result: LintResult) -> str:
+def render_baseline(result: LintResult,
+                    rules_hash: Optional[str] = None) -> str:
     doc = {
         "version": REPORT_VERSION,
         "counts": dict(sorted(baseline_counts(result).items())),
     }
+    if rules_hash is not None:
+        doc["rules_hash"] = rules_hash
     return json.dumps(doc, indent=2) + "\n"
 
 
-def load_baseline(path: Path) -> dict:
-    """Counts map from a baseline file; empty when the file is absent."""
+def load_baseline(path: Path, rules_hash: Optional[str] = None) -> dict:
+    """Counts map from a baseline file; empty when the file is absent.
+
+    When ``rules_hash`` is given, a baseline recorded under a different
+    rule inventory (or with no recorded inventory at all) is *stale*:
+    its counts were computed by different rules and cannot ratchet the
+    current run, so an empty map is returned — every current finding
+    then reads as a regression until the baseline is regenerated with
+    ``--write-baseline``.
+    """
     if not path.exists():
         return {}
     doc = json.loads(path.read_text())
+    if rules_hash is not None and doc.get("rules_hash") != rules_hash:
+        return {}
     return dict(doc.get("counts", {}))
 
 

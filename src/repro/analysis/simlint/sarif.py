@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 exporter.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+platforms ingest to surface findings as inline code annotations.  This
+renderer emits the minimal conforming document: ``version``/``$schema``
+at the top, one run with the tool driver's rule catalogue, and one
+``result`` per finding with ``ruleId``, ``level``, ``message.text`` and
+a ``physicalLocation`` (1-based lines and columns — SARIF columns start
+at 1 while :class:`~repro.analysis.simlint.core.Finding` columns are
+0-based AST offsets).
+
+Unparsable files are reported too, under the synthetic ``PARSE`` rule,
+so a syntax error cannot silently shrink the report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.analysis.simlint.core import LintResult, Rule, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Finding severity -> SARIF result level (identical today, mapped
+#: explicitly so a future severity cannot leak through unvalidated).
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(result: LintResult,
+                 rules: Optional[Iterable[Rule]] = None) -> str:
+    active = list(rules) if rules is not None else all_rules()
+    catalogue = [_rule_entry(r) for r in
+                 sorted(active, key=lambda r: r.code)]
+    catalogue.append({
+        "id": "PARSE",
+        "name": "unparsable-file",
+        "shortDescription": {"text": "file could not be parsed"},
+        "fullDescription": {"text": "syntax or decode error — the file "
+                                    "was not analysed at all"},
+        "defaultConfiguration": {"level": "error"},
+    })
+    index = {entry["id"]: i for i, entry in enumerate(catalogue)}
+
+    results = []
+    for f in result.findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": index.get(f.rule, -1),
+            "level": _LEVELS[f.severity],
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col + 1,
+                        "endLine": f.last_line,
+                    },
+                },
+            }],
+        })
+    for path, message in sorted(result.parse_errors):
+        results.append({
+            "ruleId": "PARSE",
+            "ruleIndex": index["PARSE"],
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": {"startLine": 1, "startColumn": 1},
+                },
+            }],
+        })
+
+    doc = {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "simlint",
+                "rules": catalogue,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def _rule_entry(rule: Rule) -> dict:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }

@@ -209,8 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("paths", nargs="*", default=None, metavar="PATH",
                     help="files or directories to lint "
                          "(default: the repro package)")
-    pl.add_argument("--format", choices=("text", "json"), default="text",
-                    help="report format (json is stable for CI diffing)")
+    pl.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text",
+                    help="report format (json is stable for CI diffing; "
+                         "sarif is the SARIF 2.1.0 interchange document "
+                         "for code-scanning annotations)")
+    pl.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                    metavar="BASE",
+                    help="only report findings in files git-changed "
+                         "since BASE (default HEAD = uncommitted "
+                         "changes); the whole tree is still indexed so "
+                         "interprocedural rules see full context")
+    pl.add_argument("--cache", nargs="?", const="auto", default=None,
+                    metavar="FILE",
+                    help="reuse results across runs via a JSON cache "
+                         "keyed by file sha + rule inventory "
+                         "(default location: .simlint_cache.json at "
+                         "the repo root)")
+    pl.add_argument("--no-cache", action="store_true",
+                    help="ignore --cache (escape hatch for scripts)")
+    pl.add_argument("--sarif-out", metavar="REPORT.sarif", default=None,
+                    help="also write the SARIF 2.1.0 report here "
+                         "(CI code-scanning artifact)")
     pl.add_argument("--fail-on", choices=("error", "warning"),
                     default="error", dest="fail_on",
                     help="exit non-zero when findings at or above this "
@@ -238,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--plant", action="store_true",
                     help="schedule a deliberate out-of-ownership-window "
                          "access (positive control; expects 1 race)")
+    pr.add_argument("--plant-kind",
+                    choices=("stored-access", "halted-send", "sram-stored"),
+                    default="stored-access", dest="plant_kind",
+                    help="which race class the planted probe commits "
+                         "(with --plant)")
     pr.add_argument("--smoke", action="store_true",
                     help="CI gate: clean chaos+failstop presets must show "
                          "zero races, a planted access must be caught, "
@@ -264,6 +289,30 @@ EXPERIMENTS = {
     "lint": "simlint determinism & protocol-safety static analysis",
     "racecheck": "dynamic buffer-ownership race detector (gang-switch protocol)",
 }
+
+
+def _git_changed_py_files(repo_root, base):
+    """Repo-relative posix paths of ``*.py`` files changed since ``base``.
+
+    The union of tracked changes (``git diff --name-only <base>``) and
+    untracked files, for ``repro lint --changed``.  Returns None when
+    git is unavailable or the ref does not resolve — the caller falls
+    back to reporting the full tree rather than silently reporting
+    nothing.
+    """
+    import subprocess
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            cwd=repo_root, capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=repo_root, capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = set(diff.stdout.splitlines())
+    names.update(untracked.stdout.splitlines())
+    return sorted(n for n in names if n.endswith(".py"))
 
 
 def _write_merged_telemetry(path: str, snapshots) -> None:
@@ -586,32 +635,57 @@ def main(argv=None) -> int:
 
         import repro
         from repro.analysis.simlint import (
-            all_rules, diff_against_baseline, lint_paths, load_baseline,
-            render_baseline, render_json, render_text)
+            DEFAULT_CACHE_NAME, LintCache, all_rules,
+            diff_against_baseline, lint_paths, load_baseline,
+            render_baseline, render_json, render_sarif, render_text,
+            rules_inventory_hash)
 
         package_dir = Path(repro.__file__).resolve().parent
         repo_root = package_dir.parent.parent
         paths = args.paths if args.paths else [package_dir]
-        result = lint_paths(paths, root=repo_root)
+        rules_hash = rules_inventory_hash()
+
+        report_paths = None
+        if args.changed:
+            report_paths = _git_changed_py_files(repo_root, args.changed)
+            if report_paths is None:
+                print("simlint: --changed: git diff failed; "
+                      "reporting the full tree", file=sys.stderr)
+
+        cache = None
+        if args.cache and not args.no_cache:
+            cache_path = (repo_root / DEFAULT_CACHE_NAME
+                          if args.cache == "auto" else Path(args.cache))
+            cache = LintCache(cache_path)
+
+        result = lint_paths(paths, root=repo_root, cache=cache,
+                            report_paths=report_paths)
+        if cache is not None:
+            cache.save()
 
         if args.write_baseline:
-            Path(args.write_baseline).write_text(render_baseline(result))
+            Path(args.write_baseline).write_text(
+                render_baseline(result, rules_hash=rules_hash))
             print(f"simlint baseline written to {args.write_baseline} "
                   f"({len(result.findings)} findings)")
             return 0
 
         if args.format == "json":
             print(render_json(result), end="")
+        elif args.format == "sarif":
+            print(render_sarif(result), end="")
         else:
             print(render_text(result))
         if args.out:
             Path(args.out).write_text(render_json(result))
+        if args.sarif_out:
+            Path(args.sarif_out).write_text(render_sarif(result))
 
         baseline = {}
         if not args.no_baseline:
             baseline_path = (Path(args.baseline) if args.baseline
                              else repo_root / "schemas" / "simlint_baseline.json")
-            baseline = load_baseline(baseline_path)
+            baseline = load_baseline(baseline_path, rules_hash=rules_hash)
         regressions = diff_against_baseline(result, baseline)
 
         gate = ({"error"} if args.fail_on == "error"
@@ -647,7 +721,8 @@ def main(argv=None) -> int:
             return 0 if summary["ok"] else 1
 
         result = run_racecheck(preset=args.preset, seed=args.seed,
-                               plant=args.plant)
+                               plant=args.plant,
+                               plant_kind=args.plant_kind)
         doc = result.to_dict()
         if args.out:
             with open(args.out, "w") as fh:

@@ -54,6 +54,24 @@ def test_pragma_only_covers_its_line():
     assert [f.line for f in lint_source(source)] == [3]
 
 
+def test_pragma_anywhere_in_a_multiline_statement_suppresses():
+    # The finding is reported at the call's first line; the pragma sits
+    # on the closing line.  The lineno..end_lineno range must cover it.
+    source = ("import time\n\n"
+              "def f():\n"
+              "    return time.time(\n"
+              "    )  # simlint: ignore[SIM001] -- spans the statement\n")
+    assert lint_source(source) == []
+
+
+def test_pragma_outside_the_statement_range_does_not_suppress():
+    source = ("import time\n\n"
+              "def f():\n"
+              "    return time.time()\n"
+              "    # simlint: ignore[SIM001] -- next line, not the stmt\n")
+    assert [f.rule for f in lint_source(source)] == ["SIM001"]
+
+
 # ----------------------------------------------------------------- reporters
 def test_text_report_lists_findings_and_summary():
     result = lint_paths_for(BAD)
@@ -105,11 +123,147 @@ def test_empty_baseline_means_everything_is_new():
 
 
 # ----------------------------------------------------------------- registry
-def test_registry_has_the_ten_rules_in_order():
+def test_registry_has_the_fourteen_rules_in_order():
     codes = [r.code for r in all_rules()]
-    assert codes == [f"SIM{n:03d}" for n in range(1, 11)]
+    assert codes == [f"SIM{n:03d}" for n in range(1, 15)]
     assert all(r.severity in ("error", "warning") for r in all_rules())
     assert all(r.description for r in all_rules())
+    assert all(r.scope in ("module", "project") for r in all_rules())
+
+
+def test_rules_inventory_hash_tracks_the_inventory():
+    from repro.analysis.simlint import rules_inventory_hash
+
+    active = all_rules()
+    full = rules_inventory_hash(active)
+    assert full == rules_inventory_hash(active)          # deterministic
+    assert full != rules_inventory_hash(active[:-1])     # rule removed
+
+
+# ------------------------------------------------------------- deduplication
+def test_overlapping_paths_count_each_file_once(tmp_path):
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "bad.py").write_text(BAD)
+    # The same file reached through the parent dir, the subdir and the
+    # file path itself must produce exactly one finding.
+    result = lint_paths([tmp_path, sub, sub / "bad.py"], root=tmp_path)
+    assert result.files == 1
+    assert len(result.findings) == 1
+
+
+# ------------------------------------------------------------------- caching
+def _tree(tmp_path, sources):
+    for name, src in sources.items():
+        p = tmp_path / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(src)
+    return tmp_path
+
+
+def test_cache_serves_a_warm_tree_without_reparsing(tmp_path):
+    from repro.analysis.simlint import LintCache
+
+    _tree(tmp_path, {"a.py": BAD, "b.py": "x = 1\n"})
+    cache = LintCache(tmp_path / "cache.json")
+    cold = lint_paths([tmp_path], root=tmp_path, cache=cache)
+    cache.save()
+    assert cold.cache_hits == 0 and cold.cache_misses == 2
+
+    warm_cache = LintCache(tmp_path / "cache.json")
+    warm = lint_paths([tmp_path], root=tmp_path, cache=warm_cache)
+    assert warm.cache_hits == 2 and warm.cache_misses == 0
+    assert [f.to_dict() for f in warm.findings] == \
+        [f.to_dict() for f in cold.findings]
+
+
+def test_cache_invalidates_on_file_edit(tmp_path):
+    from repro.analysis.simlint import LintCache
+
+    _tree(tmp_path, {"a.py": "x = 1\n"})
+    cache = LintCache(tmp_path / "cache.json")
+    lint_paths([tmp_path], root=tmp_path, cache=cache)
+    cache.save()
+
+    (tmp_path / "a.py").write_text(BAD)
+    warm = lint_paths([tmp_path], root=tmp_path,
+                      cache=LintCache(tmp_path / "cache.json"))
+    assert warm.cache_misses == 1
+    assert [f.rule for f in warm.findings] == ["SIM001"]
+
+
+def test_cache_invalidates_on_rule_inventory_change(tmp_path):
+    from repro.analysis.simlint import LintCache
+
+    _tree(tmp_path, {"a.py": BAD})
+    active = all_rules()
+    cache = LintCache(tmp_path / "cache.json")
+    lint_paths([tmp_path], root=tmp_path, rules=active, cache=cache)
+    cache.save()
+
+    # Same tree, smaller inventory: nothing may be served stale.
+    warm = lint_paths([tmp_path], root=tmp_path, rules=active[:3],
+                      cache=LintCache(tmp_path / "cache.json"))
+    assert warm.cache_hits == 0 and warm.cache_misses == 1
+
+
+def test_project_scope_results_invalidate_when_any_file_changes(tmp_path):
+    from repro.analysis.simlint import LintCache
+
+    helper = ("import time\n\n"
+              "def now():\n"
+              "    return time.time()  # simlint: ignore[SIM001] -- bench\n")
+    caller = ("from helper import now\n\n"
+              "def step(self):\n    self.t = now()\n")
+    _tree(tmp_path, {"helper.py": helper, "caller.py": caller})
+    cache = LintCache(tmp_path / "cache.json")
+    clean = lint_paths([tmp_path], root=tmp_path, cache=cache)
+    cache.save()
+    assert clean.findings == []
+
+    # Dropping the pragma in helper.py must re-taint the *caller* even
+    # though caller.py's bytes are unchanged.
+    (tmp_path / "helper.py").write_text(
+        "import time\n\ndef now():\n    return time.time()\n")
+    warm = lint_paths([tmp_path], root=tmp_path,
+                      cache=LintCache(tmp_path / "cache.json"))
+    assert any(f.rule == "SIM011" and f.path == "caller.py"
+               for f in warm.findings)
+
+
+# --------------------------------------------------------------------- SARIF
+def test_sarif_document_has_required_properties():
+    from repro.analysis.simlint import render_sarif
+
+    result = lint_paths_for(BAD)
+    doc = json.loads(render_sarif(result))
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "simlint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == [f"SIM{n:03d}" for n in range(1, 15)] + ["PARSE"]
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+    (res,) = run["results"]
+    assert res["ruleId"] == "SIM001"
+    assert res["level"] == "error"
+    assert res["message"]["text"]
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "module.py"
+    assert loc["region"]["startLine"] == 4
+    assert loc["region"]["startColumn"] >= 1   # SARIF columns are 1-based
+
+
+def test_sarif_reports_parse_errors_under_the_parse_rule():
+    from repro.analysis.simlint import render_sarif
+
+    result = lint_paths_for("def broken(:\n")
+    doc = json.loads(render_sarif(result))
+    (res,) = doc["runs"][0]["results"]
+    assert res["ruleId"] == "PARSE" and res["level"] == "error"
 
 
 # ---------------------------------------------------------------------- CLI

@@ -1,0 +1,167 @@
+"""Project index + call graph tests, including the laundering
+acceptance fixture: a wall-clock read two hops away from model code is
+flagged at the model call site with the full source chain."""
+
+from repro.analysis.simlint import ProjectIndex, lint_module, module_name_for
+from repro.analysis.simlint.core import ModuleUnderLint
+
+
+def build(sources):
+    modules = {path: ModuleUnderLint(path, src)
+               for path, src in sources.items()}
+    index = ProjectIndex(modules.values()).attach()
+    return modules, index
+
+
+def lint_all(modules, rule=None):
+    return {path: [f for f in lint_module(m)
+                   if rule is None or f.rule == rule]
+            for path, m in modules.items()}
+
+
+# ------------------------------------------------------------ module names
+def test_module_name_for_drops_layout_prefixes():
+    assert module_name_for("src/repro/fm/queues.py") == "repro.fm.queues"
+    assert module_name_for("tests/helpers.py") == "tests.helpers"
+    assert module_name_for("src/repro/__init__.py") == "repro"
+    assert module_name_for("benchmarks/perf/bench_kernel.py") == \
+        "benchmarks.perf.bench_kernel"
+
+
+# ------------------------------------------------------------ symbol table
+def test_index_qualifies_functions_methods_and_reexports():
+    modules, index = build({
+        "src/repro/util/clock.py": "def helper_a():\n    return 1\n",
+        "src/repro/util/__init__.py": "from repro.util.clock import helper_a\n",
+        "src/repro/model/engine.py": (
+            "class Engine:\n"
+            "    def step(self):\n        return 0\n"),
+    })
+    assert "repro.util.clock.helper_a" in index.functions
+    assert "repro.model.engine.Engine.step" in index.functions
+    assert index.resolve_symbol("repro.util.helper_a") == \
+        "repro.util.clock.helper_a"
+
+
+def test_call_graph_resolves_imports_and_self_methods():
+    modules, index = build({
+        "src/pkg/lib.py": "def leaf():\n    return 1\n",
+        "src/pkg/app.py": (
+            "from pkg.lib import leaf\n\n"
+            "class App:\n"
+            "    def helper(self):\n        return leaf()\n"
+            "    def run(self):\n        return self.helper()\n"),
+    })
+    run = index.functions["pkg.app.App.run"]
+    helper = index.functions["pkg.app.App.helper"]
+    assert "pkg.app.App.helper" in run.calls
+    assert "pkg.lib.leaf" in helper.calls
+
+
+def test_unresolvable_targets_contribute_no_edge():
+    modules, index = build({
+        "src/pkg/app.py": (
+            "def run(driver):\n"
+            "    driver.fire()\n"           # arbitrary receiver: no edge
+            "    return unknown_name()\n"),  # undefined: no edge
+    })
+    info = index.functions["pkg.app.run"]
+    assert info.calls == set()
+
+
+def test_method_resolution_walks_project_known_bases():
+    modules, index = build({
+        "src/pkg/base.py": (
+            "class Base:\n"
+            "    def teardown(self):\n        return 0\n"),
+        "src/pkg/impl.py": (
+            "from pkg.base import Base\n\n"
+            "class Impl(Base):\n"
+            "    def run(self):\n        return self.teardown()\n"),
+    })
+    found = index.lookup_method("pkg.impl.Impl", "teardown")
+    assert found is not None
+    assert found.qualname == "pkg.base.Base.teardown"
+    run = index.functions["pkg.impl.Impl.run"]
+    assert "pkg.base.Base.teardown" in run.calls
+
+
+# --------------------------------------------------- laundering acceptance
+_CLOCK = ("import time\n\n"
+          "def helper_a():\n"
+          "    return time.monotonic()\n\n"
+          "def helper_b():\n"
+          "    return helper_a()\n")
+
+
+def test_two_hop_laundered_wall_clock_is_flagged_with_the_full_chain():
+    modules, _ = build({
+        "src/repro/util/clock.py": _CLOCK,
+        "src/repro/model/engine.py": (
+            "from repro.util.clock import helper_b\n\n"
+            "class Engine:\n"
+            "    def arm(self):\n"
+            "        self.deadline = helper_b() + 5\n"),
+    })
+    found = lint_all(modules, rule="SIM011")
+    (hit,) = found["src/repro/model/engine.py"]
+    assert hit.line == 5
+    assert "helper_b()" in hit.message
+    assert "wall-clock" in hit.message
+    assert ("repro.util.clock.helper_b -> repro.util.clock.helper_a "
+            "-> time.monotonic()") in hit.message
+    # The intermediate hops are propagators, not consumers: the helper
+    # module itself carries no SIM011.
+    assert found["src/repro/util/clock.py"] == []
+
+
+def test_exempt_call_site_of_the_same_helper_is_not_flagged():
+    modules, _ = build({
+        "src/repro/util/clock.py": _CLOCK,
+        "src/repro/model/engine.py": (
+            "from repro.util.clock import helper_b\n\n"
+            "class Engine:\n"
+            "    def arm(self):\n"
+            "        self.deadline = helper_b() + 5"
+            "  # simlint: ignore[SIM011] -- report-only diagnostics\n"),
+    })
+    found = lint_all(modules, rule="SIM011")
+    assert found["src/repro/model/engine.py"] == []
+
+
+def test_blocking_closure_reaches_through_two_hops():
+    modules, index = build({
+        "src/repro/util/io.py": (
+            "import time\n\n"
+            "def drain():\n    time.sleep(0.01)\n\n"
+            "def flush():\n    drain()\n"),
+        "src/repro/model/proc.py": (
+            "from repro.util.io import flush\n\n"
+            "def body(sim):\n    flush()\n    yield 1.0\n"),
+    })
+    assert index.blocking["repro.util.io.flush"] == \
+        ["repro.util.io.flush", "repro.util.io.drain", "time.sleep()"]
+    found = lint_all(modules, rule="SIM012")
+    (hit,) = found["src/repro/model/proc.py"]
+    assert "body -> repro.util.io.flush -> repro.util.io.drain " \
+           "-> time.sleep()" in hit.message
+
+
+def test_pragma_on_the_source_read_discharges_the_whole_closure():
+    modules, index = build({
+        "src/repro/util/clock.py": (
+            "import time\n\n"
+            "def helper_a():\n"
+            "    return time.monotonic()"
+            "  # simlint: ignore[SIM001] -- bench path\n\n"
+            "def helper_b():\n"
+            "    return helper_a()\n"),
+        "src/repro/model/engine.py": (
+            "from repro.util.clock import helper_b\n\n"
+            "class Engine:\n"
+            "    def arm(self):\n"
+            "        self.deadline = helper_b() + 5\n"),
+    })
+    assert index.taint == {}
+    found = lint_all(modules, rule="SIM011")
+    assert all(hits == [] for hits in found.values())

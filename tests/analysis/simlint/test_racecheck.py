@@ -85,6 +85,23 @@ def test_planted_out_of_window_access_yields_exactly_one_race():
     assert result.run["audit"]["ok"]
 
 
+@pytest.mark.parametrize("kind", BufferOwnershipMonitor.PLANT_KINDS)
+def test_each_plant_kind_yields_exactly_one_race_of_its_class(kind):
+    result = run_racecheck(preset="chaos", seed=0, plant=True,
+                           plant_kind=kind)
+    assert result.monitor["planted"] == 1
+    assert result.race_count == 1
+    assert result.monitor["races"][0]["kind"] == kind
+    # Every probe undoes itself: the run stays healthy for all kinds.
+    assert result.run["error"] is None
+    assert result.run["audit"]["ok"]
+
+
+def test_unknown_plant_kind_is_rejected():
+    with pytest.raises(SimulationError):
+        BufferOwnershipMonitor(plant_at=0.001, plant_kind="bogus")
+
+
 # ------------------------------------------------------------------ determinism
 def test_racecheck_on_equals_racecheck_off_byte_identical():
     """Enabling the monitor must not disturb the simulation at all."""
@@ -107,7 +124,8 @@ def test_smoke_gate_passes_and_is_json_ready():
     summary = run_racecheck_smoke(seed=0)
     assert summary["ok"]
     assert {c["check"] for c in summary["checks"]} == {
-        "clean-chaos", "clean-failstop", "planted-detected", "bit-identical"}
+        "clean-chaos", "clean-failstop", "planted-stored-access",
+        "planted-halted-send", "planted-sram-stored", "bit-identical"}
     json.dumps(summary)  # must serialise without error
 
 
@@ -124,3 +142,10 @@ def test_cli_racecheck_plant_expects_the_race(capsys):
     assert main(["racecheck", "--plant"]) == 0
     capsys.readouterr()
     assert main(["racecheck", "--preset", "failstop"]) == 0
+
+
+def test_cli_racecheck_plant_kind_flag(capsys):
+    rc = main(["racecheck", "--plant", "--plant-kind", "sram-stored"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "sram-stored" in out

@@ -1,0 +1,77 @@
+"""The analyzer must hold itself to its own rules.
+
+Lints ``src/repro/analysis/`` (the linter, the race detector, the CFG
+walker, the project index) under the full fourteen-rule inventory and
+requires zero unsuppressed findings — every wall-clock read or
+order-sensitive iteration the tooling itself performs needs an explicit
+justified pragma.  Also measures the warm-cache full-tree run against
+the cold engine and reports the ratio.
+"""
+
+import shutil
+from pathlib import Path
+from time import perf_counter  # simlint: ignore[SIM001] -- timing the linter itself
+
+from repro.analysis.simlint import (
+    LintCache,
+    lint_paths,
+)
+
+ANALYSIS_DIR = Path(__file__).resolve().parents[2] / "src/repro/analysis"
+PACKAGE_DIR = ANALYSIS_DIR.parents[1] / "repro"
+
+
+def test_analysis_package_is_clean_under_all_rules():
+    result = lint_paths([ANALYSIS_DIR])
+    assert result.files >= 8
+    assert result.parse_errors == []
+    assert result.findings == [], \
+        [f.render() for f in result.findings]
+
+
+def test_warm_cache_full_tree_lint_within_budget(tmp_path, capsys):
+    """Acceptance: warm-cache full-tree lint <= 1.5x the cold engine.
+
+    Report-only on the numbers (printed for the CI log); the asserted
+    bound is deliberately generous so container timing noise cannot
+    flake the gate.
+    """
+    cache_path = tmp_path / "cache.json"
+
+    cache = LintCache(cache_path)
+    t0 = perf_counter()  # simlint: ignore[SIM001] -- timing the linter itself
+    cold = lint_paths([PACKAGE_DIR], cache=cache)
+    cold_s = perf_counter() - t0  # simlint: ignore[SIM001] -- timing the linter itself
+    cache.save()
+    assert cold.cache_misses == cold.files
+
+    warm_cache = LintCache(cache_path)
+    t0 = perf_counter()  # simlint: ignore[SIM001] -- timing the linter itself
+    warm = lint_paths([PACKAGE_DIR], cache=warm_cache)
+    warm_s = perf_counter() - t0  # simlint: ignore[SIM001] -- timing the linter itself
+
+    assert warm.cache_hits == warm.files
+    assert warm.cache_misses == 0
+    assert [f.to_dict() for f in warm.findings] == \
+        [f.to_dict() for f in cold.findings]
+
+    ratio = warm_s / cold_s if cold_s else 0.0
+    print(f"\nselflint timing: cold {cold_s:.2f}s, warm {warm_s:.2f}s "
+          f"(warm/cold {ratio:.2f}; budget 1.5)")
+    assert warm_s <= 1.5 * cold_s
+
+
+def test_cache_file_is_ignored_by_lint_discovery(tmp_path):
+    """The on-disk cache must never be linted or fingerprinted."""
+    src = tmp_path / "tree"
+    src.mkdir()
+    (src / "ok.py").write_text("x = 1\n")
+    cache = LintCache(src / ".simlint_cache.json")
+    first = lint_paths([src], cache=cache)
+    cache.save()
+    # A second run over a tree now containing the cache file must see
+    # the same single python file, served from cache.
+    again = lint_paths([src], cache=LintCache(src / ".simlint_cache.json"))
+    assert first.files == again.files == 1
+    assert again.cache_hits == 1
+    shutil.rmtree(src)
